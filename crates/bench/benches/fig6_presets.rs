@@ -1,0 +1,85 @@
+//! Figure 6 — profiling results for the ten x264 presets (crf 23, refs 3):
+//! (a) time / bitrate / PSNR, (b) Top-down categories, (c) branch and cache
+//! MPKI, (d) resource stalls.
+
+use vtx_core::experiments::presets::preset_study;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    vtx_bench::banner("Figure 6: profiling results for different transcoding presets");
+    let t = vtx_bench::sweep_transcoder()?;
+    let runs = preset_study(&t, &vtx_bench::sweep_options())?;
+
+    println!("\n(a) time, bitrate, PSNR:");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9}",
+        "preset", "time(ms)", "kbps", "PSNR(dB)"
+    );
+    for r in &runs {
+        println!(
+            "{:<10} {:>10.3} {:>10.1} {:>9.2}",
+            r.preset.name(),
+            r.summary.seconds * 1e3,
+            r.bitrate_kbps,
+            r.psnr_db
+        );
+    }
+
+    println!("\n(b) Top-down slots (%):");
+    println!(
+        "{:<10} {:>9} {:>7} {:>7} {:>7}",
+        "preset", "retiring", "FE", "BS", "BE"
+    );
+    for r in &runs {
+        let td = &r.summary.topdown;
+        println!(
+            "{:<10} {:>8.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            r.preset.name(),
+            td.retiring * 100.0,
+            td.frontend * 100.0,
+            td.bad_speculation * 100.0,
+            td.backend() * 100.0
+        );
+    }
+
+    println!("\n(c) branch & cache MPKI:");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "preset", "branch", "L1d", "L2", "L3"
+    );
+    for r in &runs {
+        let m = &r.summary.mpki;
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            r.preset.name(),
+            m.branch,
+            m.l1d,
+            m.l2,
+            m.l3
+        );
+    }
+
+    println!("\n(d) resource stalls (cycles PKI):");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "preset", "any", "ROB", "RS", "SB"
+    );
+    for r in &runs {
+        let s = &r.summary.stalls;
+        println!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            r.preset.name(),
+            s.any,
+            s.rob,
+            s.rs,
+            s.sb
+        );
+    }
+
+    println!("\npaper's takeaways to check:");
+    println!("  - time rises monotonically from ultrafast to placebo");
+    println!("  - bitrate improves sharply up to veryfast, then diminishing returns");
+    println!("  - back-end share falls with slower presets (higher operational intensity)");
+
+    vtx_bench::save_json("fig6_presets", &runs);
+    Ok(())
+}

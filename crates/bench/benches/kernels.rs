@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks of the hot primitives: codec kernels
+//! (transform, SATD, quantization, entropy coding) and simulator kernels
+//! (cache lookups, branch predictors, Hungarian assignment).
+//!
+//! These measure the *reproduction's own* wall-clock performance (not the
+//! simulated target), guarding against regressions that would make the
+//! figure harnesses unbearably slow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use vtx_codec::entropy::cabac::CabacWriter;
+use vtx_codec::entropy::EntropyWriter;
+use vtx_codec::quant::{dequant4x4, quant4x4};
+use vtx_codec::transform::{dct4x4, idct4x4, sad, satd4x4, Block4x4};
+use vtx_codec::trellis::trellis_quant;
+use vtx_codec::types::Qp;
+use vtx_sched::hungarian;
+use vtx_uarch::branch::{BranchPredictor, PentiumM, Tage};
+use vtx_uarch::cache::{Cache, CacheParams};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let src: Block4x4 = std::array::from_fn(|_| rng.gen_range(-64..64));
+    c.bench_function("dct4x4+idct4x4", |b| {
+        b.iter(|| {
+            let mut blk = black_box(src);
+            dct4x4(&mut blk);
+            idct4x4(&mut blk);
+            black_box(blk)
+        })
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let a: [u8; 256] = std::array::from_fn(|_| rng.gen());
+    let b: [u8; 256] = std::array::from_fn(|_| rng.gen());
+    c.bench_function("sad_16x16", |bch| {
+        bch.iter(|| sad(black_box(&a), black_box(&b)))
+    });
+    let a4: [u8; 16] = std::array::from_fn(|_| rng.gen());
+    let b4: [u8; 16] = std::array::from_fn(|_| rng.gen());
+    c.bench_function("satd4x4", |bch| {
+        bch.iter(|| satd4x4(black_box(&a4), black_box(&b4)))
+    });
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut src: Block4x4 = std::array::from_fn(|_| rng.gen_range(-40..40));
+    dct4x4(&mut src);
+    let qp = Qp::new(26);
+    c.bench_function("quant+dequant", |b| {
+        b.iter(|| {
+            let mut blk = black_box(src);
+            quant4x4(&mut blk, qp, false);
+            dequant4x4(&mut blk, qp);
+            black_box(blk)
+        })
+    });
+    c.bench_function("trellis_quant_l2", |b| {
+        b.iter(|| {
+            let mut blk = black_box(src);
+            trellis_quant(&mut blk, qp, false, qp.lambda(), 2)
+        })
+    });
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    c.bench_function("cabac_1k_bins", |b| {
+        b.iter(|| {
+            let mut w = CabacWriter::new();
+            for i in 0..1000u32 {
+                w.put_bit(i % 8, (i * 2_654_435_761_u32).wrapping_mul(7) & 16 != 0);
+            }
+            black_box(w.finish())
+        })
+    });
+}
+
+fn bench_uarch(c: &mut Criterion) {
+    c.bench_function("cache_access_32k", |b| {
+        let mut cache = Cache::new(CacheParams::new(32, 8, 4)).unwrap();
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 97) % 4096;
+            cache.access_line(black_box(line))
+        })
+    });
+    c.bench_function("pentium_m_observe", |b| {
+        let mut p = PentiumM::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            p.observe(black_box(i % 64), i.is_multiple_of(3))
+        })
+    });
+    c.bench_function("tage_observe", |b| {
+        let mut p = Tage::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            p.observe(black_box(i % 64), i.is_multiple_of(3))
+        })
+    });
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let cost: Vec<Vec<f64>> = (0..16)
+        .map(|_| (0..16).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    c.bench_function("hungarian_16x16", |b| {
+        b.iter(|| hungarian::solve(black_box(&cost)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_transform, bench_metrics, bench_quant, bench_entropy, bench_uarch, bench_hungarian
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Shared scaffolding for the per-figure benchmark harnesses.
+//!
+//! Every `[[bench]]` target in this crate regenerates one table or figure of
+//! the paper (see DESIGN.md's experiment index). Each harness prints the
+//! rows/series the paper reports and saves a JSON artifact under
+//! `target/vtx-results/` so runs are diffable.
+//!
+//! Grids default to strided subsets so `cargo bench` finishes quickly; set
+//! `VTX_FULL=1` to run the paper's full parameter grids (e.g. all 816
+//! crf × refs combinations of Figure 3).
+
+use std::path::PathBuf;
+
+use vtx_core::{CoreError, TranscodeOptions, Transcoder};
+
+/// Whether the full (paper-sized) grids were requested via `VTX_FULL=1`.
+pub fn full_run() -> bool {
+    std::env::var("VTX_FULL").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Seed used by every harness: results are fully reproducible.
+pub const SEED: u64 = 42;
+
+/// The single video the crf × refs sweep studies (the paper sweeps one
+/// video; we use `bike`, a mid-entropy 720p clip).
+pub fn sweep_transcoder() -> Result<Transcoder, CoreError> {
+    Transcoder::from_catalog("bike", SEED)
+}
+
+/// Profiler sampling for sweep-sized workloads: detailed enough for stable
+/// Top-down shares, fast enough for hundreds of points.
+///
+/// Burst sampling at shift 1 carries a consistent ~15% absolute-time bias
+/// versus full tracing (quantified by the `ablation_sampling` bench); since
+/// every point of a figure runs at the same shift, the *shapes* the paper
+/// reports are unaffected.
+pub fn sweep_options() -> TranscodeOptions {
+    TranscodeOptions::default().with_sample_shift(1)
+}
+
+/// Directory for JSON artifacts (`target/vtx-results`).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
+    )
+    .join("vtx-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Saves a serializable artifact as pretty JSON and reports the path.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize artifact");
+    std::fs::write(&path, json).expect("write artifact");
+    println!("\n[artifact] {}", path.display());
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.ends_with("vtx-results"));
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn full_run_reads_env() {
+        // Not set in the test environment by default.
+        if std::env::var("VTX_FULL").is_err() {
+            assert!(!full_run());
+        }
+    }
+}

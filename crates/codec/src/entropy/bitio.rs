@@ -1,0 +1,157 @@
+//! Raw bit-level I/O used by the CAVLC backend.
+
+use crate::CodecError;
+
+/// An MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+    total_bits: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | u32::from(bit);
+        self.nbits += 1;
+        self.total_bits += 1;
+        if self.nbits == 8 {
+            self.buf.push(self.acc as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends the low `n` bits of `v`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn put_bits(&mut self, v: u32, n: u32) {
+        assert!(n <= 32);
+        for i in (0..n).rev() {
+            self.put_bit((v >> i) & 1 != 0);
+        }
+    }
+
+    /// Total bits written so far (before padding).
+    pub fn bit_len(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        while self.nbits != 0 {
+            self.put_bit(false);
+        }
+        self.buf
+    }
+}
+
+/// An MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, bit_pos: 0 }
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CorruptBitstream`] at end of data.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = self.bit_pos / 8;
+        if byte >= self.data.len() {
+            return Err(CodecError::CorruptBitstream {
+                offset: byte,
+                context: "bit read past end",
+            });
+        }
+        let bit = (self.data[byte] >> (7 - (self.bit_pos % 8))) & 1 != 0;
+        self.bit_pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CorruptBitstream`] if fewer than `n` bits remain.
+    pub fn get_bits(&mut self, n: u32) -> Result<u32, CodecError> {
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | u32::from(self.get_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.bit_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multibit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0xABCD, 16);
+        w.put_bits(0, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.get_bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.get_bits(3).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn put_bits_over_32_panics() {
+        let mut w = BitWriter::new();
+        w.put_bits(0, 33);
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let bytes = BitWriter::new().finish();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert!(r.get_bit().is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! The CAVLC-style backend: syntax bins map directly to raw bits.
+
+use super::bitio::{BitReader, BitWriter};
+use super::{EntropyReader, EntropyWriter};
+use crate::CodecError;
+
+/// Context-free variable-length writer (exp-Golomb bit codes).
+#[derive(Debug, Default, Clone)]
+pub struct CavlcWriter {
+    bits: BitWriter,
+}
+
+impl CavlcWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EntropyWriter for CavlcWriter {
+    #[inline]
+    fn put_bit(&mut self, _ctx: u32, bit: bool) {
+        self.bits.put_bit(bit);
+    }
+
+    fn bits_estimate(&self) -> f64 {
+        self.bits.bit_len() as f64
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.bits.finish()
+    }
+}
+
+/// Reader counterpart of [`CavlcWriter`].
+#[derive(Debug, Clone)]
+pub struct CavlcReader<'a> {
+    bits: BitReader<'a>,
+}
+
+impl<'a> CavlcReader<'a> {
+    /// Creates a reader over a CAVLC payload.
+    pub fn new(data: &'a [u8]) -> Self {
+        CavlcReader {
+            bits: BitReader::new(data),
+        }
+    }
+}
+
+impl EntropyReader for CavlcReader<'_> {
+    #[inline]
+    fn get_bit(&mut self, _ctx: u32) -> Result<bool, CodecError> {
+        self.bits.get_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_syntax_roundtrip() {
+        let mut w = CavlcWriter::new();
+        w.put_bit(0, true);
+        w.put_ue(8, 17);
+        w.put_se(16, -9);
+        w.put_bit(0, false);
+        let est = w.bits_estimate();
+        assert!(est > 0.0);
+        let bytes = w.finish();
+        let mut r = CavlcReader::new(&bytes);
+        assert!(r.get_bit(0).unwrap());
+        assert_eq!(r.get_ue(8).unwrap(), 17);
+        assert_eq!(r.get_se(16).unwrap(), -9);
+        assert!(!r.get_bit(0).unwrap());
+    }
+
+    #[test]
+    fn estimate_equals_exact_bits() {
+        let mut w = CavlcWriter::new();
+        w.put_ue(0, 5); // ue(5) = 5 bits
+        assert_eq!(w.bits_estimate(), 5.0);
+    }
+}

@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use vtx_frame::FrameError;
+use vtx_uarch::ConfigError;
+
+/// Errors produced by the encoder and decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// An encoder configuration value is out of its legal range.
+    InvalidConfig {
+        /// Parameter name.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The input video has no frames.
+    EmptyVideo,
+    /// The bitstream is truncated or corrupt.
+    CorruptBitstream {
+        /// Byte offset (approximate) where parsing failed.
+        offset: usize,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// The bitstream magic/version does not match.
+    BadMagic,
+    /// A frame-model error surfaced during encoding or decoding.
+    Frame(FrameError),
+    /// A simulator configuration error surfaced while profiling.
+    Sim(ConfigError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidConfig { what, detail } => {
+                write!(f, "invalid encoder configuration: {what}: {detail}")
+            }
+            CodecError::EmptyVideo => write!(f, "input video has no frames"),
+            CodecError::CorruptBitstream { offset, context } => {
+                write!(
+                    f,
+                    "corrupt bitstream near byte {offset} while reading {context}"
+                )
+            }
+            CodecError::BadMagic => write!(f, "not a vtx bitstream (bad magic)"),
+            CodecError::Frame(e) => write!(f, "frame error: {e}"),
+            CodecError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for CodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodecError::Frame(e) => Some(e),
+            CodecError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for CodecError {
+    fn from(e: FrameError) -> Self {
+        CodecError::Frame(e)
+    }
+}
+
+impl From<ConfigError> for CodecError {
+    fn from(e: ConfigError) -> Self {
+        CodecError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CodecError::CorruptBitstream {
+            offset: 12,
+            context: "mb_type",
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.source().is_none());
+        let e = CodecError::Frame(FrameError::GeometryMismatch);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn from_conversions() {
+        let e: CodecError = FrameError::GeometryMismatch.into();
+        assert!(matches!(e, CodecError::Frame(_)));
+        let e: CodecError = ConfigError::Zero { what: "x" }.into();
+        assert!(matches!(e, CodecError::Sim(_)));
+    }
+}

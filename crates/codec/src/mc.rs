@@ -1,0 +1,322 @@
+//! Motion compensation: full-pel block copy and half-pel bilinear
+//! interpolation, with edge extension at frame borders.
+
+use vtx_frame::Plane;
+
+use crate::types::MotionVector;
+
+/// Produces the `bw x bh` motion-compensated luma prediction for a block at
+/// `(x, y)` displaced by `mv` (half-pel units) from `reference`.
+///
+/// Half-pel positions use bilinear interpolation of the 2 (or 4) nearest
+/// full-pel samples, edge-extended at the borders.
+///
+/// # Panics
+///
+/// Panics if `out.len() < bw * bh`.
+pub fn mc_luma(
+    reference: &Plane,
+    mv: MotionVector,
+    x: usize,
+    y: usize,
+    bw: usize,
+    bh: usize,
+    out: &mut [u8],
+) {
+    assert!(out.len() >= bw * bh);
+    let (fx, fy) = mv.fullpel();
+    let hx = (mv.x & 1) as i32;
+    let hy = (mv.y & 1) as i32;
+    let bx = x as isize + fx as isize;
+    let by = y as isize + fy as isize;
+
+    if hx == 0 && hy == 0 {
+        reference.copy_block_clamped(bx, by, bw, bh, out);
+        return;
+    }
+
+    for row in 0..bh {
+        for col in 0..bw {
+            let px = bx + col as isize;
+            let py = by + row as isize;
+            let p00 = u32::from(reference.get_clamped(px, py));
+            let v = match (hx, hy) {
+                (1, 0) => (p00 + u32::from(reference.get_clamped(px + 1, py))).div_ceil(2),
+                (0, 1) => (p00 + u32::from(reference.get_clamped(px, py + 1))).div_ceil(2),
+                _ => {
+                    let p10 = u32::from(reference.get_clamped(px + 1, py));
+                    let p01 = u32::from(reference.get_clamped(px, py + 1));
+                    let p11 = u32::from(reference.get_clamped(px + 1, py + 1));
+                    (p00 + p10 + p01 + p11 + 2) / 4
+                }
+            };
+            out[row * bw + col] = v as u8;
+        }
+    }
+}
+
+/// Motion-compensates one chroma plane: the luma vector is halved (4:2:0),
+/// keeping half-pel precision via bilinear interpolation.
+///
+/// `(cx, cy)` are chroma-plane coordinates; the output block is `bw x bh`
+/// chroma samples.
+pub fn mc_chroma(
+    reference: &Plane,
+    mv: MotionVector,
+    cx: usize,
+    cy: usize,
+    bw: usize,
+    bh: usize,
+    out: &mut [u8],
+) {
+    // Luma half-pel units -> chroma half-pel units = divide by 2 keeping
+    // one fractional bit.
+    let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+    mc_luma(reference, cmv, cx, cy, bw, bh, out);
+}
+
+/// Averages two prediction blocks into `out` — bi-prediction for B frames.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn average(a: &[u8], b: &[u8], out: &mut [u8]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = (u16::from(x) + u16::from(y)).div_ceil(2) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_plane() -> Plane {
+        let mut p = Plane::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                p.set(x, y, (x * 4 + y) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn fullpel_copy_matches_source() {
+        let p = ramp_plane();
+        let mut out = [0u8; 64];
+        mc_luma(&p, MotionVector::from_fullpel(2, 3), 4, 4, 8, 8, &mut out);
+        for row in 0..8 {
+            for col in 0..8 {
+                assert_eq!(out[row * 8 + col], p.get(6 + col, 7 + row));
+            }
+        }
+    }
+
+    #[test]
+    fn halfpel_x_interpolates() {
+        let p = ramp_plane();
+        let mut out = [0u8; 16];
+        mc_luma(&p, MotionVector::new(1, 0), 8, 8, 4, 4, &mut out);
+        let expect = (u32::from(p.get(8, 8)) + u32::from(p.get(9, 8))).div_ceil(2);
+        assert_eq!(u32::from(out[0]), expect);
+    }
+
+    #[test]
+    fn halfpel_xy_averages_four() {
+        let p = ramp_plane();
+        let mut out = [0u8; 16];
+        mc_luma(&p, MotionVector::new(1, 1), 8, 8, 4, 4, &mut out);
+        let e = (u32::from(p.get(8, 8))
+            + u32::from(p.get(9, 8))
+            + u32::from(p.get(8, 9))
+            + u32::from(p.get(9, 9))
+            + 2)
+            / 4;
+        assert_eq!(u32::from(out[0]), e);
+    }
+
+    #[test]
+    fn out_of_bounds_clamps() {
+        let p = ramp_plane();
+        let mut out = [0u8; 256];
+        mc_luma(
+            &p,
+            MotionVector::from_fullpel(-100, -100),
+            0,
+            0,
+            16,
+            16,
+            &mut out,
+        );
+        assert!(out.iter().all(|&v| v == p.get(0, 0)));
+    }
+
+    #[test]
+    fn chroma_halves_vector() {
+        let p = ramp_plane();
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        // Luma mv of 4 half-pels (= 2 full-pel) -> chroma 1 full-pel.
+        mc_chroma(&p, MotionVector::new(4, 0), 4, 4, 4, 4, &mut a);
+        mc_luma(&p, MotionVector::from_fullpel(1, 0), 4, 4, 4, 4, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_length_mismatch_panics() {
+        let a = [0u8; 4];
+        let b = [0u8; 3];
+        let mut out = [0u8; 4];
+        average(&a, &b, &mut out);
+    }
+
+    #[test]
+    fn average_rounds() {
+        let a = [10u8, 11, 0, 255];
+        let b = [20u8, 12, 1, 255];
+        let mut out = [0u8; 4];
+        average(&a, &b, &mut out);
+        assert_eq!(out, [15, 12, 1, 255]);
+    }
+}
+
+use vtx_frame::Frame;
+
+/// Builds the full inter prediction (luma 16x16 + both chroma 8x8) for a
+/// macroblock. `dir`: 0 = forward only, 1 = backward only, 2 = bi-predicted
+/// average. Shared by the encoder and decoder so reconstruction can never
+/// diverge.
+pub fn build_inter_pred_frames(
+    fwd: &Frame,
+    bwd: Option<&Frame>,
+    fwd_mv: MotionVector,
+    bwd_mv: MotionVector,
+    dir: u8,
+    mb_x: usize,
+    mb_y: usize,
+) -> ([u8; 256], [u8; 64], [u8; 64]) {
+    let x = mb_x * 16;
+    let y = mb_y * 16;
+    let cx = mb_x * 8;
+    let cy = mb_y * 8;
+
+    let mc_one = |f: &Frame, mv: MotionVector| -> ([u8; 256], [u8; 64], [u8; 64]) {
+        let mut py = [0u8; 256];
+        let mut pu = [0u8; 64];
+        let mut pv = [0u8; 64];
+        mc_luma(f.y(), mv, x, y, 16, 16, &mut py);
+        mc_chroma(f.u(), mv, cx, cy, 8, 8, &mut pu);
+        mc_chroma(f.v(), mv, cx, cy, 8, 8, &mut pv);
+        (py, pu, pv)
+    };
+
+    match dir {
+        0 => mc_one(fwd, fwd_mv),
+        1 => mc_one(bwd.unwrap_or(fwd), bwd_mv),
+        _ => {
+            let (fy, fu, fv) = mc_one(fwd, fwd_mv);
+            let (by, bu, bv) = mc_one(bwd.unwrap_or(fwd), bwd_mv);
+            let mut py = [0u8; 256];
+            let mut pu = [0u8; 64];
+            let mut pv = [0u8; 64];
+            average(&fy, &by, &mut py);
+            average(&fu, &bu, &mut pu);
+            average(&fv, &bv, &mut pv);
+            (py, pu, pv)
+        }
+    }
+}
+
+/// Builds the P8x8 prediction: four independently motion-compensated 8x8
+/// luma quadrants; chroma uses the component-wise average vector. Shared by
+/// the encoder and decoder.
+pub fn build_p8_pred(
+    reference: &Frame,
+    sub: &[MotionVector; 4],
+    mb_x: usize,
+    mb_y: usize,
+) -> ([u8; 256], [u8; 64], [u8; 64]) {
+    let x = mb_x * 16;
+    let y = mb_y * 16;
+    let mut py = [0u8; 256];
+    for q in 0..4 {
+        let mut blk = [0u8; 64];
+        mc_luma(
+            reference.y(),
+            sub[q],
+            x + (q % 2) * 8,
+            y + (q / 2) * 8,
+            8,
+            8,
+            &mut blk,
+        );
+        for r in 0..8 {
+            for c in 0..8 {
+                py[((q / 2) * 8 + r) * 16 + (q % 2) * 8 + c] = blk[r * 8 + c];
+            }
+        }
+    }
+    let avg_mv = MotionVector::new(
+        ((i32::from(sub[0].x) + i32::from(sub[1].x) + i32::from(sub[2].x) + i32::from(sub[3].x))
+            / 4) as i16,
+        ((i32::from(sub[0].y) + i32::from(sub[1].y) + i32::from(sub[2].y) + i32::from(sub[3].y))
+            / 4) as i16,
+    );
+    let mut pu = [0u8; 64];
+    let mut pv = [0u8; 64];
+    mc_chroma(reference.u(), avg_mv, mb_x * 8, mb_y * 8, 8, 8, &mut pu);
+    mc_chroma(reference.v(), avg_mv, mb_x * 8, mb_y * 8, 8, 8, &mut pv);
+    (py, pu, pv)
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+
+    #[test]
+    fn bi_direction_averages() {
+        let mut a = Frame::new(32, 32);
+        a.y_mut().fill(100);
+        a.u_mut().fill(90);
+        a.v_mut().fill(80);
+        let mut b = Frame::new(32, 32);
+        b.y_mut().fill(200);
+        b.u_mut().fill(110);
+        b.v_mut().fill(120);
+        let (py, pu, pv) = build_inter_pred_frames(
+            &a,
+            Some(&b),
+            MotionVector::ZERO,
+            MotionVector::ZERO,
+            2,
+            0,
+            0,
+        );
+        assert!(py.iter().all(|&v| v == 150));
+        assert!(pu.iter().all(|&v| v == 100));
+        assert!(pv.iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn p8_quadrants_use_own_vectors() {
+        let mut f = Frame::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                f.y_mut().set(x, y, (x * 8) as u8);
+            }
+        }
+        let sub = [
+            MotionVector::from_fullpel(0, 0),
+            MotionVector::from_fullpel(2, 0),
+            MotionVector::from_fullpel(0, 0),
+            MotionVector::from_fullpel(2, 0),
+        ];
+        let (py, _, _) = build_p8_pred(&f, &sub, 0, 0);
+        // Quadrant 1 (top-right) shifted by +2 px: differs from unshifted copy.
+        assert_eq!(py[0], f.y().get(0, 0));
+        assert_eq!(py[8], f.y().get(10, 0));
+    }
+}

@@ -1,0 +1,617 @@
+//! Integer and sub-pel motion estimation (§II-B.2 of the paper).
+//!
+//! Four search strategies mirror x264's: `dia` (small diamond), `hex`
+//! (hexagon, the default), `umh` (uneven multi-hexagon) and `esa`/`tesa`
+//! (exhaustive, the latter re-ranking by SATD). Search effort — and with it
+//! instruction count, reference working set, and branch behaviour — rises
+//! monotonically across that list, which is what differentiates the presets
+//! in Figure 6.
+
+use vtx_frame::Plane;
+use vtx_trace::Profiler;
+
+use crate::instr::{K_HPEL, K_ME_DIA, K_ME_ESA, K_ME_HEX, K_ME_UMH, K_SAD, K_SATD};
+use crate::mc::mc_luma;
+use crate::transform::{sad, satd4x4};
+use crate::types::{se_len, MeMethod, MotionVector};
+
+/// A reference picture plus its virtual base address for cache tracing.
+#[derive(Debug)]
+pub struct RefView<'a> {
+    /// Reconstructed luma plane of the reference frame.
+    pub plane: &'a Plane,
+    /// Virtual address of the plane's first sample.
+    pub vaddr: u64,
+    /// Address scale factor (nominal / simulated resolution; see
+    /// `vtx_codec::bufs` for the scaled-addressing scheme).
+    pub scale: u64,
+}
+
+impl RefView<'_> {
+    /// Nominal-scale address of the sample at simulated `(x, y)`.
+    #[inline]
+    pub fn addr(&self, x: u64, y: u64) -> u64 {
+        let stride = self.plane.width() as u64 * self.scale;
+        self.vaddr + y * self.scale * stride + x * self.scale
+    }
+}
+
+/// Search parameters, derived from the encoder configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MeParams {
+    /// Search strategy.
+    pub method: MeMethod,
+    /// Maximum motion range in full pixels.
+    pub merange: i32,
+    /// Sub-pel refinement level (0 = integer only; >= 4 uses SATD).
+    pub subme: u8,
+    /// RD lambda for motion-vector rate costing.
+    pub lambda: f64,
+}
+
+/// Result of a motion search against one reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeResult {
+    /// Best motion vector (half-pel units).
+    pub mv: MotionVector,
+    /// Rate-distortion cost (metric + lambda * mv bits).
+    pub cost: u32,
+    /// Raw distortion metric (SAD, or SATD at high subme).
+    pub metric: u32,
+}
+
+/// SAD between a 16x16 source block and the reference at full-pel `(rx, ry)`.
+fn sad_16x16_at(src: &[u8; 256], reference: &Plane, rx: isize, ry: isize, early_out: u32) -> u32 {
+    let w = reference.width() as isize;
+    let h = reference.height() as isize;
+    let mut acc = 0u32;
+    if rx >= 0 && ry >= 0 && rx + 16 <= w && ry + 16 <= h {
+        // Fast interior path with early termination every 4 rows.
+        let stride = reference.width();
+        let samples = reference.samples();
+        for row in 0..16 {
+            let off = (ry as usize + row) * stride + rx as usize;
+            acc += sad(&src[row * 16..row * 16 + 16], &samples[off..off + 16]);
+            if row % 4 == 3 && acc >= early_out {
+                return acc;
+            }
+        }
+        acc
+    } else {
+        let mut blk = [0u8; 256];
+        reference.copy_block_clamped(rx, ry, 16, 16, &mut blk);
+        sad(src, &blk)
+    }
+}
+
+fn mv_cost(lambda: f64, mv: MotionVector, pred: MotionVector) -> u32 {
+    let dx = i32::from(mv.x) - i32::from(pred.x);
+    let dy = i32::from(mv.y) - i32::from(pred.y);
+    (lambda * f64::from(se_len(dx) + se_len(dy))).round() as u32
+}
+
+struct SearchState<'a, 'p> {
+    src: &'a [u8; 256],
+    reference: &'a RefView<'a>,
+    x: usize,
+    y: usize,
+    pred: MotionVector,
+    lambda: f64,
+    merange: i32,
+    best_mv: (i32, i32), // full-pel
+    best_cost: u32,
+    best_metric: u32,
+    candidates: u32,
+    prof: &'p mut Profiler,
+    branch_stride: u32,
+}
+
+impl SearchState<'_, '_> {
+    /// Evaluates a full-pel candidate, updating the best. Returns whether it
+    /// improved.
+    fn try_candidate(&mut self, mx: i32, my: i32) -> bool {
+        if mx.abs() > self.merange * 2 || my.abs() > self.merange * 2 {
+            return false;
+        }
+        self.candidates += 1;
+        let rx = self.x as isize + mx as isize;
+        let ry = self.y as isize + my as isize;
+        // Touch the candidate's first reference line (the detailed window
+        // read was charged when the window was loaded).
+        let cy = ry.clamp(0, self.reference.plane.height() as isize - 1) as u64;
+        let cx = rx.clamp(0, self.reference.plane.width() as isize - 1) as u64;
+        let addr = self.reference.addr(cx, cy);
+        self.prof.load(addr);
+
+        let metric = sad_16x16_at(self.src, self.reference.plane, rx, ry, self.best_cost);
+        let mv = MotionVector::from_fullpel(mx as i16, my as i16);
+        let cost = metric.saturating_add(mv_cost(self.lambda, mv, self.pred));
+        let improved = cost < self.best_cost;
+        if self.candidates.is_multiple_of(self.branch_stride) {
+            self.prof.branch(1, improved);
+        }
+        if improved {
+            self.best_cost = cost;
+            self.best_metric = metric;
+            self.best_mv = (mx, my);
+        }
+        improved
+    }
+}
+
+const DIA_OFFSETS: [(i32, i32); 4] = [(0, -1), (-1, 0), (1, 0), (0, 1)];
+const HEX_OFFSETS: [(i32, i32); 6] = [(-2, 0), (-1, -2), (1, -2), (2, 0), (1, 2), (-1, 2)];
+const SQUARE_OFFSETS: [(i32, i32); 8] = [
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (-1, 0),
+    (1, 0),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+];
+
+/// Searches one reference frame for the best motion vector for the 16x16
+/// block at `(x, y)` of `src`, starting from the `pred_mv` predictor.
+///
+/// Emits kernel, cache-line and branch events to `prof` as a side effect.
+pub fn search_ref(
+    src: &[u8; 256],
+    reference: &RefView<'_>,
+    x: usize,
+    y: usize,
+    pred_mv: MotionVector,
+    params: &MeParams,
+    prof: &mut Profiler,
+) -> MeResult {
+    // Charge the search-window working set: merange rows above/below. When
+    // the optimizer tiled this loop over x, only the columns newly exposed
+    // by the sliding window are fetched (the rest were loaded for the
+    // previous macroblock and are still addressable as hits).
+    let sim_width = reference.plane.width() as u64;
+    let top = (y as i64 - i64::from(params.merange)).max(0) as u64;
+    let bot = ((y + 16) as i64 + i64::from(params.merange))
+        .min(reference.plane.height() as i64) as u64;
+    let tiled = prof.data_plan().tile_me_window && x > 0;
+    let (left, span) = if tiled {
+        ((x + 16) as i64 - 16, (16 + params.merange) as u64)
+    } else {
+        (
+            (x as i64 - i64::from(params.merange)).max(0),
+            (16 + 2 * params.merange) as u64,
+        )
+    };
+    let left = (left.max(0) as u64).min(sim_width - 1);
+    let span_bytes = span.min(sim_width - left) * reference.scale;
+    for row in top..bot {
+        prof.load_range(reference.addr(left, row), span_bytes);
+    }
+
+    let (px, py) = pred_mv.fullpel();
+    let mut st = SearchState {
+        src,
+        reference,
+        x,
+        y,
+        pred: pred_mv,
+        lambda: params.lambda,
+        merange: params.merange.max(4),
+        best_mv: (0, 0),
+        best_cost: u32::MAX,
+        best_metric: u32::MAX,
+        candidates: 0,
+        prof,
+        branch_stride: if matches!(params.method, MeMethod::Esa | MeMethod::Tesa) {
+            8
+        } else {
+            1
+        },
+    };
+
+    // Seed with the predictor and the zero vector.
+    st.try_candidate(i32::from(px), i32::from(py));
+    st.try_candidate(0, 0);
+
+    match params.method {
+        MeMethod::Dia => diamond_search(&mut st),
+        MeMethod::Hex => hex_search(&mut st),
+        MeMethod::Umh => umh_search(&mut st),
+        MeMethod::Esa | MeMethod::Tesa => esa_search(&mut st, params.method == MeMethod::Tesa),
+    }
+
+    let kernel = match params.method {
+        MeMethod::Dia => K_ME_DIA,
+        MeMethod::Hex => K_ME_HEX,
+        MeMethod::Umh => K_ME_UMH,
+        MeMethod::Esa | MeMethod::Tesa => K_ME_ESA,
+    };
+    let cands = st.candidates;
+    let best_mv = st.best_mv;
+    let mut best_cost = st.best_cost;
+    let mut best_metric = st.best_metric;
+    prof.kernel(kernel, cands, 30, 0);
+    prof.kernel(K_SAD, cands, 64, 0);
+
+    let mut mv = MotionVector::from_fullpel(best_mv.0 as i16, best_mv.1 as i16);
+
+    // Sub-pel refinement: deeper subme levels run more refinement rounds
+    // (x264's subme ladder adds qpel iterations and RD checks), and levels
+    // >= 5 always complete their scan instead of breaking early.
+    if params.subme >= 1 {
+        let use_satd = params.subme >= 4;
+        let rounds = u32::from(params.subme).div_ceil(3);
+        let exhaustive_rounds = if params.subme >= 5 { 2 } else { 0 };
+        let mut hpel_cands = 0u32;
+        for round in 0..rounds {
+            let mut improved = false;
+            for (dx, dy) in SQUARE_OFFSETS {
+                let cand = MotionVector::new(mv.x + dx as i16, mv.y + dy as i16);
+                if !cand.has_halfpel() {
+                    continue; // full-pel positions were already searched
+                }
+                hpel_cands += 1;
+                let mut pred_blk = [0u8; 256];
+                mc_luma(reference.plane, cand, x, y, 16, 16, &mut pred_blk);
+                let metric = if use_satd {
+                    satd16_blocks(src, &pred_blk)
+                } else {
+                    sad(src, &pred_blk)
+                };
+                let cost = metric.saturating_add(mv_cost(params.lambda, cand, pred_mv));
+                let better = cost < best_cost;
+                prof.branch(2, better);
+                if better {
+                    best_cost = cost;
+                    best_metric = metric;
+                    mv = cand;
+                    improved = true;
+                }
+            }
+            if !improved && round >= exhaustive_rounds {
+                break;
+            }
+        }
+        prof.kernel(K_HPEL, hpel_cands, 90, 16);
+        if use_satd {
+            prof.kernel(K_SATD, hpel_cands, 160, 0);
+        }
+    }
+
+    MeResult {
+        mv,
+        cost: best_cost,
+        metric: best_metric,
+    }
+}
+
+fn satd16_blocks(a: &[u8; 256], b: &[u8; 256]) -> u32 {
+    let mut total = 0;
+    let mut pa = [0u8; 16];
+    let mut pb = [0u8; 16];
+    for by in 0..4 {
+        for bx in 0..4 {
+            for r in 0..4 {
+                for c in 0..4 {
+                    pa[r * 4 + c] = a[(by * 4 + r) * 16 + bx * 4 + c];
+                    pb[r * 4 + c] = b[(by * 4 + r) * 16 + bx * 4 + c];
+                }
+            }
+            total += satd4x4(&pa, &pb);
+        }
+    }
+    total
+}
+
+fn diamond_search(st: &mut SearchState<'_, '_>) {
+    let mut iters = 0;
+    loop {
+        let (cx, cy) = st.best_mv;
+        let mut improved = false;
+        for (dx, dy) in DIA_OFFSETS {
+            improved |= st.try_candidate(cx + dx, cy + dy);
+        }
+        iters += 1;
+        if !improved || iters >= st.merange {
+            break;
+        }
+    }
+}
+
+fn hex_search(st: &mut SearchState<'_, '_>) {
+    let mut iters = 0;
+    loop {
+        let (cx, cy) = st.best_mv;
+        let mut improved = false;
+        for (dx, dy) in HEX_OFFSETS {
+            improved |= st.try_candidate(cx + dx, cy + dy);
+        }
+        iters += 1;
+        if !improved || iters >= st.merange {
+            break;
+        }
+    }
+    // Final square refinement.
+    let (cx, cy) = st.best_mv;
+    for (dx, dy) in SQUARE_OFFSETS {
+        st.try_candidate(cx + dx, cy + dy);
+    }
+}
+
+fn umh_search(st: &mut SearchState<'_, '_>) {
+    // 1. Cross search at stride 2 out to merange.
+    let (sx, sy) = st.best_mv;
+    let range = st.merange;
+    let mut d = 2;
+    while d <= range {
+        st.try_candidate(sx + d, sy);
+        st.try_candidate(sx - d, sy);
+        st.try_candidate(sx, sy + d);
+        st.try_candidate(sx, sy - d);
+        d += 2;
+    }
+    // 2. 5x5 full window around the current best.
+    let (cx, cy) = st.best_mv;
+    for dy in -2..=2 {
+        for dx in -2..=2 {
+            st.try_candidate(cx + dx, cy + dy);
+        }
+    }
+    // 3. Uneven multi-hexagon rings expanding outward.
+    let (cx, cy) = st.best_mv;
+    let mut r = 4;
+    while r <= range {
+        for (hx, hy) in HEX_OFFSETS {
+            st.try_candidate(cx + hx * r / 2, cy + hy * r / 2);
+        }
+        for (hx, hy) in SQUARE_OFFSETS {
+            st.try_candidate(cx + hx * r, cy + hy * r);
+        }
+        r *= 2;
+    }
+    // 4. Hexagon convergence from the best point found.
+    hex_search(st);
+}
+
+fn esa_search(st: &mut SearchState<'_, '_>, satd_rerank: bool) {
+    let range = st.merange;
+    let mut top: Vec<(u32, i32, i32)> = Vec::new();
+    for my in -range..=range {
+        for mx in -range..=range {
+            st.try_candidate(mx, my);
+            if satd_rerank && st.best_mv == (mx, my) {
+                top.push((st.best_cost, mx, my));
+            }
+        }
+    }
+    if satd_rerank {
+        // Re-rank the most recent best candidates by SATD (tesa behaviour).
+        let n = top.len().min(8);
+        let slice = &top[top.len() - n..];
+        let mut best = (u32::MAX, st.best_mv);
+        let mut blk = [0u8; 256];
+        for &(_, mx, my) in slice {
+            st.reference.plane.copy_block_clamped(
+                st.x as isize + mx as isize,
+                st.y as isize + my as isize,
+                16,
+                16,
+                &mut blk,
+            );
+            let metric = satd16_blocks(st.src, &blk);
+            let mv = MotionVector::from_fullpel(mx as i16, my as i16);
+            let cost = metric.saturating_add(mv_cost(st.lambda, mv, st.pred));
+            if cost < best.0 {
+                best = (cost, (mx, my));
+            }
+        }
+        if best.0 != u32::MAX {
+            st.best_mv = best.1;
+            st.best_cost = best.0;
+            st.best_metric = best.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtx_trace::layout::CodeLayout;
+    use vtx_uarch::config::UarchConfig;
+
+    fn prof() -> Profiler {
+        let kernels = crate::instr::kernel_table();
+        Profiler::new(
+            &UarchConfig::baseline(),
+            kernels,
+            CodeLayout::default_order(kernels),
+        )
+        .unwrap()
+    }
+
+    /// Builds a reference containing a smooth Gaussian blob centred at
+    /// (32, 32) and a source block that equals the reference shifted by
+    /// (8, 8): the SAD landscape is unimodal with a unique zero at that
+    /// displacement, so both local and exhaustive searches must find it.
+    fn shifted_scene() -> (Plane, [u8; 256]) {
+        let mut reference = Plane::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                let dx = x as f64 - 32.0;
+                let dy = y as f64 - 32.0;
+                let v = 20.0 + 220.0 * (-(dx * dx + dy * dy) / 90.0).exp();
+                reference.set(x, y, v as u8);
+            }
+        }
+        let mut src = [0u8; 256];
+        for r in 0..16 {
+            for c in 0..16 {
+                src[r * 16 + c] = reference.get(24 + c, 24 + r);
+            }
+        }
+        (reference, src)
+    }
+
+    fn run(method: MeMethod, subme: u8) -> MeResult {
+        let (plane, src) = shifted_scene();
+        let mut p = prof();
+        let rv = RefView {
+            plane: &plane,
+            vaddr: 0x2000_0000,
+            scale: 1,
+        };
+        let params = MeParams {
+            method,
+            merange: 16,
+            subme,
+            lambda: 4.0,
+        };
+        search_ref(&src, &rv, 16, 16, MotionVector::ZERO, &params, &mut p)
+    }
+
+    #[test]
+    fn esa_finds_exact_displacement() {
+        let r = run(MeMethod::Esa, 0);
+        assert_eq!(r.mv, MotionVector::from_fullpel(8, 8));
+        assert_eq!(r.metric, 0);
+    }
+
+    #[test]
+    fn umh_finds_exact_displacement() {
+        let r = run(MeMethod::Umh, 0);
+        assert_eq!(r.mv, MotionVector::from_fullpel(8, 8));
+    }
+
+    #[test]
+    fn hex_finds_displacement() {
+        let r = run(MeMethod::Hex, 0);
+        assert_eq!(r.mv, MotionVector::from_fullpel(8, 8));
+    }
+
+    #[test]
+    fn method_effort_ordering() {
+        // Candidate counts (instructions charged to ME kernels) must grow
+        // from dia to esa.
+        let count = |m: MeMethod| {
+            let (plane, src) = shifted_scene();
+            let mut p = prof();
+            let rv = RefView {
+                plane: &plane,
+                vaddr: 0x2000_0000,
+                scale: 1,
+            };
+            let params = MeParams {
+                method: m,
+                merange: 16,
+                subme: 0,
+                lambda: 4.0,
+            };
+            search_ref(&src, &rv, 16, 16, MotionVector::ZERO, &params, &mut p);
+            let rep = p.finish();
+            rep.counts.instructions
+        };
+        let dia = count(MeMethod::Dia);
+        let hex = count(MeMethod::Hex);
+        let umh = count(MeMethod::Umh);
+        let esa = count(MeMethod::Esa);
+        // dia takes 1-px steps so it may iterate more than hex on deep
+        // displacements; the robust ordering is pattern searches < umh < esa.
+        assert!(dia < umh, "dia {dia} umh {umh}");
+        assert!(hex < umh, "hex {hex} umh {umh}");
+        assert!(umh < esa, "umh {umh} esa {esa}");
+    }
+
+    #[test]
+    fn subpel_refinement_improves_half_pel_content() {
+        // Build a reference whose best match is at a half-pel offset: the
+        // source is the average of two adjacent columns.
+        let mut reference = Plane::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                reference.set(x, y, ((x * 11 + y * 3) % 240) as u8);
+            }
+        }
+        let mut src = [0u8; 256];
+        for r in 0..16 {
+            for c in 0..16 {
+                let a = u16::from(reference.get(16 + c, 16 + r));
+                let b = u16::from(reference.get(17 + c, 16 + r));
+                src[r * 16 + c] = (a + b).div_ceil(2) as u8;
+            }
+        }
+        let mut p = prof();
+        let rv = RefView {
+            plane: &reference,
+            vaddr: 0x2000_0000,
+            scale: 1,
+        };
+        let coarse = search_ref(
+            &src,
+            &rv,
+            16,
+            16,
+            MotionVector::ZERO,
+            &MeParams {
+                method: MeMethod::Hex,
+                merange: 8,
+                subme: 0,
+                lambda: 1.0,
+            },
+            &mut p,
+        );
+        let fine = search_ref(
+            &src,
+            &rv,
+            16,
+            16,
+            MotionVector::ZERO,
+            &MeParams {
+                method: MeMethod::Hex,
+                merange: 8,
+                subme: 2,
+                lambda: 1.0,
+            },
+            &mut p,
+        );
+        assert!(fine.metric < coarse.metric, "{} vs {}", fine.metric, coarse.metric);
+        assert!(fine.mv.has_halfpel());
+    }
+
+    #[test]
+    fn tiled_window_loading_emits_fewer_accesses() {
+        use vtx_trace::plan::DataPlan;
+        let (plane, src) = shifted_scene();
+        let params = MeParams {
+            method: MeMethod::Hex,
+            merange: 16,
+            subme: 0,
+            lambda: 4.0,
+        };
+        let run = |plan: DataPlan| {
+            let mut p = prof();
+            p.set_data_plan(plan);
+            // Nominal-scale addressing (scale 8), where the narrower tiled
+            // span covers measurably fewer cache lines.
+            let rv = RefView {
+                plane: &plane,
+                vaddr: 0x2000_0000,
+                scale: 8,
+            };
+            // x > 0 so the sliding-window delta applies.
+            search_ref(&src, &rv, 32, 16, MotionVector::ZERO, &params, &mut p);
+            p.finish().counts.loads.total()
+        };
+        let canonical = run(DataPlan::canonical());
+        let tiled = run(DataPlan::fully_blocked());
+        assert!(
+            tiled < canonical,
+            "tiled {tiled} should load less than canonical {canonical}"
+        );
+    }
+
+    #[test]
+    fn tesa_runs_and_finds_displacement() {
+        let r = run(MeMethod::Tesa, 0);
+        assert_eq!(r.mv, MotionVector::from_fullpel(8, 8));
+    }
+}

@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+use vtx_codec::CodecError;
+use vtx_frame::FrameError;
+use vtx_uarch::ConfigError;
+
+/// Errors surfaced by the characterization facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The requested video is not in the vbench catalog.
+    UnknownVideo {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A codec error occurred during transcoding.
+    Codec(CodecError),
+    /// A frame-model error occurred.
+    Frame(FrameError),
+    /// A simulator configuration error occurred.
+    Sim(ConfigError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownVideo { name } => {
+                write!(f, "video '{name}' is not in the vbench catalog")
+            }
+            CoreError::Codec(e) => write!(f, "codec error: {e}"),
+            CoreError::Frame(e) => write!(f, "frame error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Codec(e) => Some(e),
+            CoreError::Frame(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::UnknownVideo { .. } => None,
+        }
+    }
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+impl From<FrameError> for CoreError {
+    fn from(e: FrameError) -> Self {
+        CoreError::Frame(e)
+    }
+}
+
+impl From<ConfigError> for CoreError {
+    fn from(e: ConfigError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoreError::UnknownVideo {
+            name: "warp".into(),
+        };
+        assert!(e.to_string().contains("warp"));
+        assert!(e.source().is_none());
+        let e: CoreError = CodecError::EmptyVideo.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing frames or planes from raw data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The supplied dimensions are zero or not compatible with the subsampling
+    /// scheme (YUV 4:2:0 requires even luma dimensions).
+    InvalidDimensions {
+        /// Requested width in pixels.
+        width: usize,
+        /// Requested height in pixels.
+        height: usize,
+    },
+    /// A raw buffer did not contain `width * height` samples.
+    BufferSizeMismatch {
+        /// Number of samples expected.
+        expected: usize,
+        /// Number of samples provided.
+        actual: usize,
+    },
+    /// Two frames that were expected to have identical geometry differ.
+    GeometryMismatch,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::InvalidDimensions { width, height } => {
+                write!(f, "invalid frame dimensions {width}x{height}")
+            }
+            FrameError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "buffer holds {actual} samples, expected {expected}")
+            }
+            FrameError::GeometryMismatch => write!(f, "frame geometries differ"),
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = FrameError::InvalidDimensions {
+            width: 0,
+            height: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x7"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&FrameError::GeometryMismatch);
+    }
+}

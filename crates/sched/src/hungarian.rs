@@ -1,0 +1,185 @@
+//! The Hungarian (Kuhn–Munkres) algorithm for minimum-cost one-to-one
+//! assignment, implemented with the O(n³) potentials formulation.
+
+/// Solves the rectangular assignment problem: `cost[i][j]` is the cost of
+/// giving row (task) `i` to column (server) `j`, with `rows <= cols`.
+/// Returns the column assigned to each row, minimizing total cost.
+///
+/// # Panics
+///
+/// Panics if `cost` is empty, ragged, or has more rows than columns.
+pub fn solve(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "cost matrix must be nonempty");
+    let m = cost[0].len();
+    assert!(
+        cost.iter().all(|r| r.len() == m),
+        "cost matrix must be rectangular"
+    );
+    assert!(n <= m, "need at least as many columns as rows");
+
+    // Standard potentials algorithm (1-indexed internally).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// Total cost of an assignment.
+pub fn assignment_cost(cost: &[Vec<f64>], assignment: &[usize]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let m = cost[0].len();
+        let mut cols: Vec<usize> = (0..m).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols, 0, n, &mut |perm| {
+            let total: f64 = (0..n).map(|i| cost[i][perm[i]]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(cols: &mut Vec<usize>, k: usize, n: usize, f: &mut impl FnMut(&[usize])) {
+        if k == n {
+            f(cols);
+            return;
+        }
+        for i in k..cols.len() {
+            cols.swap(k, i);
+            permute(cols, k + 1, n, f);
+            cols.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn known_small_case() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = solve(&cost);
+        assert_eq!(assignment_cost(&cost, &a), 5.0); // 1 + 2 + 2
+    }
+
+    #[test]
+    fn assignment_is_injective() {
+        let cost = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![3.0, 6.0, 9.0, 12.0],
+            vec![4.0, 8.0, 12.0, 16.0],
+        ];
+        let a = solve(&cost);
+        let mut seen = [false; 4];
+        for &j in &a {
+            assert!(!seen[j], "column {j} assigned twice");
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_many_random_matrices() {
+        // Deterministic pseudo-random matrices.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((state >> 33) % 1000) as f64 / 10.0
+        };
+        for trial in 0..50 {
+            let n = 2 + (trial % 4);
+            let m = n + (trial % 3);
+            let cost: Vec<Vec<f64>> = (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+            let a = solve(&cost);
+            let got = assignment_cost(&cost, &a);
+            let want = brute_force(&cost);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "trial {trial}: hungarian {got} vs brute {want} on {cost:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_uses_extra_columns() {
+        let cost = vec![vec![10.0, 1.0, 10.0], vec![10.0, 2.0, 0.5]];
+        let a = solve(&cost);
+        assert_eq!(a, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn more_rows_than_cols_panics() {
+        let cost = vec![vec![1.0], vec![2.0]];
+        let _ = solve(&cost);
+    }
+}

@@ -1,0 +1,129 @@
+//! Profiling reports: the counters the paper's figures are built from.
+
+use serde::{Deserialize, Serialize};
+
+use vtx_uarch::interval::{CycleBreakdown, ExecutionCounts};
+use vtx_uarch::topdown::TopDown;
+
+use crate::kernel::KernelProfile;
+
+/// Misses per kilo-instruction, as reported by `perf` in the paper (§III-B.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MpkiReport {
+    /// L1 instruction-cache MPKI.
+    pub l1i: f64,
+    /// L1 data-cache MPKI (loads + stores).
+    pub l1d: f64,
+    /// L2 MPKI (data side).
+    pub l2: f64,
+    /// L3 MPKI (data side).
+    pub l3: f64,
+    /// Branch mispredictions per kilo-instruction.
+    pub branch: f64,
+    /// iTLB misses per kilo-instruction.
+    pub itlb: f64,
+}
+
+/// Resource-stall cycles per kilo-instruction (Figure 5e–h).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StallPki {
+    /// Stalls due to any resource (Figure 5e).
+    pub any: f64,
+    /// Reorder-buffer-full stalls (Figure 5f).
+    pub rob: f64,
+    /// Reservation-station-full stalls (Figure 5g).
+    pub rs: f64,
+    /// Store-buffer-full stalls (Figure 5h).
+    pub sb: f64,
+}
+
+/// Everything one profiled execution produces — the VTune + perf view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Name of the simulated microarchitecture configuration.
+    pub config_name: String,
+    /// Raw accumulated event counts.
+    pub counts: ExecutionCounts,
+    /// Interval-model cycle ledger.
+    pub breakdown: CycleBreakdown,
+    /// Top-down slot categorization.
+    pub topdown: TopDown,
+    /// Cache/branch/TLB miss rates.
+    pub mpki: MpkiReport,
+    /// Resource stall rates.
+    pub stalls: StallPki,
+    /// Simulated execution time in seconds.
+    pub seconds: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Kernels sorted by attributed instructions, descending.
+    pub hotspots: Vec<(String, u64)>,
+    /// The raw per-kernel profile (consumed by the AutoFDO-style optimizer).
+    pub profile: KernelProfile,
+}
+
+impl ProfileReport {
+    /// Speedup of this report relative to a baseline run of the same work
+    /// (`> 1.0` means this run is faster).
+    pub fn speedup_vs(&self, baseline: &ProfileReport) -> f64 {
+        if self.seconds <= 0.0 {
+            return 1.0;
+        }
+        baseline.seconds / self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(seconds: f64) -> ProfileReport {
+        ProfileReport {
+            config_name: "baseline".into(),
+            counts: ExecutionCounts::default(),
+            breakdown: CycleBreakdown {
+                base_cycles: 0.0,
+                frontend_cycles: 0.0,
+                badspec_cycles: 0.0,
+                memory_cycles: 0.0,
+                sb_cycles: 0.0,
+                core_cycles: 0.0,
+                total_cycles: 1,
+                uops: 0,
+                dispatch_width: 4,
+                rob_stall_cycles: 0.0,
+                rs_stall_cycles: 0.0,
+                sb_stall_cycles: 0.0,
+            },
+            topdown: TopDown {
+                retiring: 1.0,
+                frontend: 0.0,
+                bad_speculation: 0.0,
+                backend_memory: 0.0,
+                backend_core: 0.0,
+            },
+            mpki: MpkiReport::default(),
+            stalls: StallPki::default(),
+            seconds,
+            ipc: 0.0,
+            hotspots: vec![],
+            profile: KernelProfile::new(0),
+        }
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let base = dummy(2.0);
+        let fast = dummy(1.0);
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
+        assert!((base.speedup_vs(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serializable() {
+        let r = dummy(1.0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when validating microarchitecture configuration parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A value that must be a power of two is not.
+    NotPowerOfTwo {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+    /// A capacity parameter is zero.
+    Zero {
+        /// Parameter name.
+        what: &'static str,
+    },
+    /// Cache geometry is inconsistent (size not divisible by assoc * line).
+    BadCacheGeometry {
+        /// Cache size in bytes.
+        size: u64,
+        /// Associativity (ways).
+        assoc: u32,
+        /// Line size in bytes.
+        line: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ConfigError::Zero { what } => write!(f, "{what} must be nonzero"),
+            ConfigError::BadCacheGeometry { size, assoc, line } => write!(
+                f,
+                "cache geometry invalid: size {size} not divisible by {assoc} ways x {line} B lines"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ConfigError::NotPowerOfTwo {
+            what: "rob_size",
+            value: 3,
+        };
+        assert!(e.to_string().contains("rob_size"));
+        let e = ConfigError::BadCacheGeometry {
+            size: 1000,
+            assoc: 3,
+            line: 64,
+        };
+        assert!(e.to_string().contains("1000"));
+    }
+}

@@ -1,0 +1,50 @@
+//! A Sniper-style mechanistic CPU microarchitecture model.
+//!
+//! The paper this workspace reproduces profiles video transcoding with Intel
+//! VTune's Top-down methodology and validates its scheduler on the Sniper
+//! simulator's mechanistic *interval* core model. This crate rebuilds that
+//! apparatus from scratch:
+//!
+//! * [`cache`] — set-associative LRU caches with per-level statistics;
+//! * [`tlb`] — an instruction TLB model;
+//! * [`hierarchy`] — a configurable L1i/L1d/L2/L3/(L4) hierarchy;
+//! * [`branch`] — pluggable predictors: bimodal, gshare, a Pentium-M-style
+//!   hybrid (Sniper's default) and TAGE (the paper's `bs_op` upgrade);
+//! * [`interval`] — the interval core model that converts accumulated miss
+//!   events into cycles, with ROB-aware memory-level-parallelism overlap;
+//! * [`topdown`] — VTune-style Top-down slot accounting (retiring /
+//!   front-end / bad speculation / back-end{memory, core});
+//! * [`config`] — the paper's Table IV microarchitecture configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use vtx_uarch::config::UarchConfig;
+//! use vtx_uarch::interval::{CoreModel, ExecutionCounts};
+//!
+//! let cfg = UarchConfig::baseline();
+//! let mut counts = ExecutionCounts::default();
+//! counts.instructions = 1_000_000;
+//! counts.uops = 1_100_000;
+//! let model = CoreModel::new(&cfg);
+//! let breakdown = model.run(&counts);
+//! assert!(breakdown.total_cycles > 0);
+//! let td = breakdown.topdown();
+//! assert!((td.sum() - 1.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod interval;
+pub mod prefetch;
+pub mod tlb;
+pub mod topdown;
+
+mod error;
+
+pub use error::ConfigError;

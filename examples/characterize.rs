@@ -1,0 +1,35 @@
+//! Run the paper's §IV-A profiling studies in one call and emit a Markdown
+//! characterization report.
+//!
+//! ```text
+//! cargo run --release -p vtx-examples --bin characterize [sweep_video]
+//! ```
+
+use vtx_core::experiments::full_report::{characterize, ReportScope};
+use vtx_core::TranscodeOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scope = ReportScope::default();
+    if let Some(video) = std::env::args().nth(1) {
+        scope.sweep_video = video;
+    }
+    println!(
+        "characterizing: sweep on '{}', {} crf x {} refs, {} presets, {} videos...",
+        scope.sweep_video,
+        scope.crfs.len(),
+        scope.refs.len(),
+        scope.presets.len(),
+        scope.videos.as_ref().map_or(16, Vec::len)
+    );
+
+    let opts = TranscodeOptions::default().with_sample_shift(1);
+    let report = characterize(&scope, &opts)?;
+    let md = report.to_markdown();
+
+    let path = std::path::Path::new("target").join("vtx-characterization.md");
+    std::fs::create_dir_all("target")?;
+    std::fs::write(&path, &md)?;
+    println!("\n{md}");
+    println!("[written to {}]", path.display());
+    Ok(())
+}

@@ -1,0 +1,9 @@
+fn main() {
+    let t = vtx_core::Transcoder::from_catalog("bike", 42).unwrap();
+    let opts = vtx_core::TranscodeOptions::default().with_sample_shift(1);
+    for crf in [1u8, 6, 12, 18, 24, 30, 36, 44, 51] {
+        let cfg = vtx_codec::EncoderConfig::default().with_crf(crf as f64);
+        let r = t.transcode(&cfg, &opts).unwrap();
+        println!("crf {:>2}: branch mpki {:.3}  (insns {}M, misp {})", crf, r.summary.mpki.branch, r.profile.counts.instructions/1_000_000, r.profile.counts.branch_mispredicts);
+    }
+}

@@ -1,0 +1,70 @@
+//! Heterogeneous-fleet scheduling: the paper's §IV-B.2 case study as a tool.
+//!
+//! Four transcoding tasks (Table III) must be placed on four servers with
+//! different microarchitectures (Table IV). This example measures every
+//! (task, server) pair, then compares the random, smart
+//! (characterization-driven, one-to-one) and best (oracle) schedulers.
+//!
+//! ```text
+//! cargo run --release -p vtx-examples --bin fleet_scheduler
+//! ```
+
+use vtx_core::experiments::scheduler::scheduler_study;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("measuring Table III tasks on the Table IV configurations...");
+    let study = scheduler_study(42, 1)?;
+
+    println!("\ntasks:");
+    for (i, t) in study.tasks.iter().enumerate() {
+        println!(
+            "  #{}: {:<13} crf {:<2} refs {:<2} preset {}",
+            i + 1,
+            t.video,
+            t.crf,
+            t.refs,
+            t.preset.name()
+        );
+    }
+
+    println!("\nmeasured seconds (rows = tasks, columns = servers):");
+    print!("{:>14}", "baseline");
+    for name in &study.config_names {
+        print!("{name:>10}");
+    }
+    println!();
+    for (i, row) in study.times.iter().enumerate() {
+        print!("{:>14.5}", study.baseline_times[i]);
+        for t in row {
+            print!("{t:>10.5}");
+        }
+        println!("   <- task #{}", i + 1);
+    }
+
+    println!("\npredicted benefit (smart scheduler's view):");
+    for (i, row) in study.benefit.iter().enumerate() {
+        print!("   task #{}:", i + 1);
+        for b in row {
+            print!(" {b:>7.4}");
+        }
+        println!();
+    }
+
+    println!("\nschedules:");
+    println!(
+        "  smart: {:?}  (configs by index into {:?})",
+        study.smart.assignment, study.config_names
+    );
+    println!("  best : {:?}", study.best.assignment);
+
+    println!("\nspeedup over running everything on the baseline server:");
+    println!("  random scheduler : {:>6.2} %", (study.random_speedup() - 1.0) * 100.0);
+    println!("  smart scheduler  : {:>6.2} %", (study.smart_speedup() - 1.0) * 100.0);
+    println!("  best scheduler   : {:>6.2} %", (study.best_speedup() - 1.0) * 100.0);
+    println!(
+        "\nsmart vs random: {:+.2} %   |   smart matches best on {:.0} % of tasks",
+        (study.smart_over_random() - 1.0) * 100.0,
+        study.smart_match_rate * 100.0
+    );
+    Ok(())
+}

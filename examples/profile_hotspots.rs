@@ -1,0 +1,76 @@
+//! VTune-style hotspot and bottleneck report for one transcode, and the
+//! effect of recompiling with the AutoFDO / Graphite analogs.
+//!
+//! ```text
+//! cargo run --release -p vtx-examples --bin profile_hotspots [video] [preset]
+//! ```
+
+use vtx_codec::{instr, Preset};
+use vtx_core::{TranscodeOptions, Transcoder};
+use vtx_opt::{compile, BinaryVariant};
+use vtx_uarch::config::UarchConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let video = args.next().unwrap_or_else(|| "game2".to_owned());
+    let preset = args
+        .next()
+        .and_then(|s| Preset::from_name(&s))
+        .unwrap_or(Preset::Medium);
+
+    let transcoder = Transcoder::from_catalog(&video, 11)?;
+    let cfg = preset.config().with_crf(23.0).with_refs(3);
+    let opts = TranscodeOptions::default();
+
+    println!("profiling '{video}' with preset {}...", preset.name());
+    let base = transcoder.transcode(&cfg, &opts)?;
+
+    println!("\nhotspots (baseline binary):");
+    let total = base.profile.counts.instructions as f64;
+    for (name, insns) in base.profile.hotspots.iter().take(10) {
+        let pct = *insns as f64 * 100.0 / total;
+        println!("  {name:<14} {pct:>5.1} %  {}", "#".repeat((pct / 2.0) as usize));
+    }
+    let td = &base.summary.topdown;
+    println!(
+        "\nbottlenecks: retiring {:.1}% | FE {:.1}% | BS {:.1}% | BE-mem {:.1}% | BE-core {:.1}%",
+        td.retiring * 100.0,
+        td.frontend * 100.0,
+        td.bad_speculation * 100.0,
+        td.backend_memory * 100.0,
+        td.backend_core * 100.0
+    );
+
+    // Recompile with the two optimizers, using the profile we just took.
+    let kernels = instr::kernel_table();
+    let uarch = UarchConfig::baseline();
+    let fdo = compile(
+        BinaryVariant::AutoFdo,
+        kernels,
+        Some(&base.profile.profile),
+        &uarch,
+    )?;
+    let gra = compile(BinaryVariant::Graphite, kernels, None, &uarch)?;
+
+    let fdo_run = transcoder.transcode(&cfg, &opts.clone().with_binary(&fdo))?;
+    let gra_run = transcoder.transcode(&cfg, &opts.clone().with_binary(&gra))?;
+
+    println!("\nrecompiled binaries (same transcode):");
+    println!(
+        "  autofdo : {:+.2} % speedup  (L1i MPKI {:.2} -> {:.2}, iTLB {:.3} -> {:.3})",
+        (base.seconds / fdo_run.seconds - 1.0) * 100.0,
+        base.summary.mpki.l1i,
+        fdo_run.summary.mpki.l1i,
+        base.summary.mpki.itlb,
+        fdo_run.summary.mpki.itlb
+    );
+    println!(
+        "  graphite: {:+.2} % speedup  (L1d MPKI {:.2} -> {:.2}, L2 {:.2} -> {:.2})",
+        (base.seconds / gra_run.seconds - 1.0) * 100.0,
+        base.summary.mpki.l1d,
+        gra_run.summary.mpki.l1d,
+        base.summary.mpki.l2,
+        gra_run.summary.mpki.l2
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: transcode one vbench clip and print the paper's three key
+//! metrics plus the VTune-style Top-down breakdown.
+//!
+//! ```text
+//! cargo run --release -p vtx-examples --bin quickstart [video] [crf] [refs]
+//! ```
+
+use vtx_codec::EncoderConfig;
+use vtx_core::{TranscodeOptions, Transcoder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let video = args.next().unwrap_or_else(|| "bike".to_owned());
+    let crf: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(23.0);
+    let refs: u8 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(3);
+
+    println!("building transcoding workload for '{video}' (seed 42)...");
+    let transcoder = Transcoder::from_catalog(&video, 42)?;
+    let spec = &transcoder.video().spec;
+    println!(
+        "  {} — nominal {}x{}@{} (entropy {}), simulated {}x{} x {} frames",
+        spec.full_name,
+        spec.nominal_width,
+        spec.nominal_height,
+        spec.fps,
+        spec.entropy,
+        spec.sim_width,
+        spec.sim_height,
+        spec.sim_frames
+    );
+
+    let cfg = EncoderConfig::default().with_crf(crf).with_refs(refs);
+    let report = transcoder.transcode(&cfg, &TranscodeOptions::default())?;
+
+    println!("\ntranscode (medium preset, crf {crf}, refs {refs}) on the baseline core:");
+    println!("  time     : {:>10.4} s (simulated at 3.5 GHz)", report.seconds);
+    println!("  bitrate  : {:>10.1} kbps", report.bitrate_kbps);
+    println!("  quality  : {:>10.2} dB PSNR", report.psnr_db);
+    println!("  IPC      : {:>10.2}", report.summary.ipc);
+
+    let td = &report.summary.topdown;
+    println!("\ntop-down pipeline slots:");
+    println!("  retiring        : {:>6.2} %", td.retiring * 100.0);
+    println!("  front-end bound : {:>6.2} %", td.frontend * 100.0);
+    println!("  bad speculation : {:>6.2} %", td.bad_speculation * 100.0);
+    println!("  back-end memory : {:>6.2} %", td.backend_memory * 100.0);
+    println!("  back-end core   : {:>6.2} %", td.backend_core * 100.0);
+
+    let m = &report.summary.mpki;
+    println!("\nmiss rates (per kilo-instruction):");
+    println!("  L1i {:.3}  L1d {:.3}  L2 {:.3}  L3 {:.3}  branch {:.3}  iTLB {:.3}",
+        m.l1i, m.l1d, m.l2, m.l3, m.branch, m.itlb);
+
+    println!("\ntop hotspots:");
+    for (name, insns) in report.profile.hotspots.iter().take(6) {
+        let pct = *insns as f64 * 100.0 / report.profile.counts.instructions as f64;
+        println!("  {name:<14} {pct:>5.1} %");
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! VOD encoding ladder: the workload the paper's introduction motivates.
+//!
+//! A streaming service transcodes each upload into a ladder of renditions
+//! (different quality/size targets) and needs to know what each rung costs
+//! in compute and what it buys in quality/size. This example builds the
+//! ladder for one clip and prints the speed/size/quality triangle per rung,
+//! plus where the pipeline's cycles go microarchitecturally.
+//!
+//! ```text
+//! cargo run --release -p vtx-examples --bin vod_ladder [video]
+//! ```
+
+use vtx_codec::{EncoderConfig, Preset};
+use vtx_core::experiments::pareto::ladder_for_budget;
+use vtx_core::experiments::sweep::crf_refs_sweep;
+use vtx_core::{TranscodeOptions, Transcoder};
+
+struct Rung {
+    name: &'static str,
+    crf: f64,
+    preset: Preset,
+}
+
+const LADDER: &[Rung] = &[
+    Rung {
+        name: "archive",
+        crf: 16.0,
+        preset: Preset::Slow,
+    },
+    Rung {
+        name: "premium",
+        crf: 21.0,
+        preset: Preset::Medium,
+    },
+    Rung {
+        name: "standard",
+        crf: 27.0,
+        preset: Preset::Medium,
+    },
+    Rung {
+        name: "data-saver",
+        crf: 34.0,
+        preset: Preset::Veryfast,
+    },
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let video = std::env::args().nth(1).unwrap_or_else(|| "house".to_owned());
+    println!("preparing upload for '{video}'...");
+    let transcoder = Transcoder::from_catalog(&video, 7)?;
+    let opts = TranscodeOptions::default().with_sample_shift(1);
+
+    println!(
+        "\n{:<11} {:>8} {:>10} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "rung", "time(ms)", "kbps", "PSNR(dB)", "ret%", "FE%", "BS%", "BE%"
+    );
+    let mut total_seconds = 0.0;
+    for rung in LADDER {
+        let cfg = rung.preset.config().with_crf(rung.crf);
+        let r = transcoder.transcode(&cfg, &opts)?;
+        total_seconds += r.seconds;
+        let td = &r.summary.topdown;
+        println!(
+            "{:<11} {:>8.2} {:>10.1} {:>9.2} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            rung.name,
+            r.seconds * 1e3,
+            r.bitrate_kbps,
+            r.psnr_db,
+            td.retiring * 100.0,
+            td.frontend * 100.0,
+            td.bad_speculation * 100.0,
+            td.backend() * 100.0,
+        );
+    }
+    println!(
+        "\nfull ladder cost: {:.2} ms of simulated CPU time",
+        total_seconds * 1e3
+    );
+    println!("(a provider multiplies this by millions of uploads — the paper's motivation)");
+
+    // Characterization-driven alternative: sweep the (crf, refs) plane and
+    // let the Pareto ladder builder pick efficient rungs within the same
+    // compute budget the hand-written ladder used.
+    println!("\nsweeping the (crf, refs) plane for a data-driven ladder...");
+    let points = crf_refs_sweep(
+        &transcoder,
+        &[14, 18, 22, 26, 30, 34, 38],
+        &[1, 3],
+        &EncoderConfig::default(),
+        &opts,
+    )?;
+    let plan = ladder_for_budget(&points, LADDER.len(), total_seconds);
+    println!(
+        "suggested {} rungs within the same {:.2} ms budget:",
+        plan.rungs.len(),
+        total_seconds * 1e3
+    );
+    println!("{:>5} {:>5} {:>10} {:>10} {:>9}", "crf", "refs", "kbps", "PSNR(dB)", "time(ms)");
+    for r in &plan.rungs {
+        println!(
+            "{:>5} {:>5} {:>10.1} {:>10.2} {:>9.2}",
+            r.crf,
+            r.refs,
+            r.bitrate_kbps,
+            r.psnr_db,
+            r.summary.seconds * 1e3
+        );
+    }
+    Ok(())
+}

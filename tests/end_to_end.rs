@@ -1,0 +1,160 @@
+//! End-to-end integration: synthetic video → mezzanine → decode → re-encode
+//! → decode again, across crates, with profiling running throughout.
+
+use vtx_codec::{decode_video, encode_video, instr, EncoderConfig, Preset, RateControlMode};
+use vtx_frame::quality;
+use vtx_core::Transcoder;
+use vtx_tests::{tiny_transcoder, tiny_video};
+use vtx_trace::layout::CodeLayout;
+use vtx_trace::Profiler;
+use vtx_uarch::config::UarchConfig;
+use vtx_core::TranscodeOptions;
+
+fn profiler() -> Profiler {
+    let kernels = instr::kernel_table();
+    Profiler::new(
+        &UarchConfig::baseline(),
+        kernels,
+        CodeLayout::default_order(kernels),
+    )
+    .unwrap()
+}
+
+#[test]
+fn full_transcode_pipeline_reports_consistent_metrics() {
+    let t = tiny_transcoder("cricket", 8, 1);
+    let r = t
+        .transcode(&EncoderConfig::default(), &TranscodeOptions::default())
+        .unwrap();
+    assert!(r.seconds > 0.0);
+    assert!(r.bitrate_kbps > 0.0);
+    assert!(r.psnr_db > 25.0, "psnr {}", r.psnr_db);
+    assert!((r.summary.topdown.sum() - 1.0).abs() < 1e-9);
+    // The profile must cover both decode and encode kernels.
+    let names: Vec<&str> = r
+        .profile
+        .hotspots
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert!(names.contains(&"dec_parse"), "decoder was profiled");
+    assert!(names.contains(&"sad") || names.contains(&"satd"), "encoder was profiled");
+}
+
+#[test]
+fn decoder_reproduces_encoder_reconstruction_for_every_preset_class() {
+    for preset in [Preset::Ultrafast, Preset::Veryfast, Preset::Medium, Preset::Slow] {
+        let v = tiny_video("game2", 6, 9);
+        let mut p = profiler();
+        let cfg = preset.config().with_crf(23.0).with_refs(2);
+        let enc = encode_video(&v, &cfg, &mut p).unwrap();
+        let dec = decode_video(&enc.bitstream, &mut p).unwrap();
+        for (i, (d, e)) in dec.frames.iter().zip(enc.recon.iter()).enumerate() {
+            assert_eq!(d, e, "{}: frame {i} mismatch", preset.name());
+        }
+    }
+}
+
+#[test]
+fn all_rate_control_modes_produce_decodable_streams() {
+    let v = tiny_video("bike", 8, 4);
+    let modes = [
+        RateControlMode::Cqp(28),
+        RateControlMode::Crf(23.0),
+        RateControlMode::Abr { bitrate_kbps: 120 },
+        RateControlMode::Cbr { bitrate_kbps: 120 },
+        RateControlMode::TwoPassAbr { bitrate_kbps: 120 },
+        RateControlMode::Vbv {
+            crf: 23.0,
+            max_kbps: 200,
+        },
+    ];
+    for mode in modes {
+        let mut p = profiler();
+        let mut cfg = EncoderConfig::default();
+        cfg.rc = mode;
+        let enc = encode_video(&v, &cfg, &mut p).unwrap();
+        let dec = decode_video(&enc.bitstream, &mut p)
+            .unwrap_or_else(|e| panic!("{}: {e}", mode.name()));
+        assert_eq!(dec.frames.len(), v.frames.len(), "{}", mode.name());
+        let psnr = quality::sequence_psnr(&v.frames, &dec.frames).unwrap();
+        assert!(psnr > 22.0, "{}: psnr {psnr}", mode.name());
+    }
+}
+
+#[test]
+fn abr_and_cbr_land_near_their_target_bitrate() {
+    // A generous tolerance: the clip is very short, so the controller has
+    // few frames to converge.
+    let v = tiny_video("cricket", 12, 2);
+    for target in [100u32, 300] {
+        let mut p = profiler();
+        let mut cfg = EncoderConfig::default();
+        cfg.rc = RateControlMode::Abr {
+            bitrate_kbps: target,
+        };
+        let enc = encode_video(&v, &cfg, &mut p).unwrap();
+        let duration = v.frames.len() as f64 / f64::from(v.spec.fps);
+        let kbps = enc.bitstream.bitrate_kbps(duration);
+        assert!(
+            kbps > f64::from(target) * 0.3 && kbps < f64::from(target) * 3.0,
+            "target {target} got {kbps:.0}"
+        );
+    }
+}
+
+#[test]
+fn every_uarch_config_can_run_a_transcode() {
+    let t = tiny_transcoder("desktop", 6, 3);
+    for cfg in UarchConfig::table_iv() {
+        let opts = TranscodeOptions::on(cfg.clone()).with_sample_shift(2);
+        let r = t.transcode(&EncoderConfig::default(), &opts).unwrap();
+        assert!(r.seconds > 0.0, "{}", cfg.name);
+        assert_eq!(r.profile.config_name, cfg.name);
+    }
+}
+
+#[test]
+fn modified_configs_do_not_slow_down_the_baseline_workload() {
+    // Table IV's variants only add resources (except be_op1's L3 trade-off),
+    // so at minimum fe_op, be_op2 and bs_op must never be slower.
+    let t = tiny_transcoder("cricket", 8, 5);
+    let cfg = EncoderConfig::default();
+    let base = t
+        .transcode(&cfg, &TranscodeOptions::default())
+        .unwrap()
+        .seconds;
+    for u in [UarchConfig::fe_op(), UarchConfig::be_op2(), UarchConfig::bs_op()] {
+        let s = t
+            .transcode(&cfg, &TranscodeOptions::on(u.clone()))
+            .unwrap()
+            .seconds;
+        assert!(
+            s <= base * 1.001,
+            "{} took {s} vs baseline {base}",
+            u.name
+        );
+    }
+}
+
+#[test]
+fn sample_shift_keeps_instruction_counts_exact() {
+    // A somewhat larger clip so 1-in-2 sampling still sees enough
+    // macroblocks for a stable estimate.
+    let mut spec = vtx_tests::tiny_spec("girl", 8);
+    spec.sim_width = 96;
+    spec.sim_height = 64;
+    let t = Transcoder::from_video(vtx_frame::synth::generate(&spec, 6)).unwrap();
+    let cfg = EncoderConfig::default();
+    let full = t.transcode(&cfg, &TranscodeOptions::default()).unwrap();
+    let sampled = t
+        .transcode(&cfg, &TranscodeOptions::default().with_sample_shift(1))
+        .unwrap();
+    assert_eq!(
+        full.profile.counts.instructions,
+        sampled.profile.counts.instructions
+    );
+    // Sampled time should be within a factor of the detailed estimate.
+    let ratio = sampled.seconds / full.seconds;
+    assert!((0.6..1.7).contains(&ratio), "ratio {ratio}");
+}

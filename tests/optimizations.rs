@@ -1,0 +1,112 @@
+//! Integration tests of the compiler-optimization analogs and the scheduler
+//! against real transcoding workloads.
+
+use vtx_codec::{instr, EncoderConfig, Preset};
+use vtx_core::experiments::compiler_opts::compiler_opt_run;
+use vtx_core::experiments::scheduler::scheduler_study_with_tasks;
+use vtx_core::TranscodeOptions;
+use vtx_opt::{compile, BinaryVariant};
+use vtx_sched::TranscodeTask;
+use vtx_tests::tiny_transcoder;
+use vtx_uarch::config::UarchConfig;
+
+#[test]
+fn autofdo_reduces_icache_misses_and_speeds_up() {
+    let t = tiny_transcoder("cricket", 8, 17);
+    let cfg = EncoderConfig::default();
+    let opts = TranscodeOptions::default();
+    let base = t.transcode(&cfg, &opts).unwrap();
+
+    let binary = compile(
+        BinaryVariant::AutoFdo,
+        instr::kernel_table(),
+        Some(&base.profile.profile),
+        &UarchConfig::baseline(),
+    )
+    .unwrap();
+    let fdo = t
+        .transcode(&cfg, &opts.clone().with_binary(&binary))
+        .unwrap();
+
+    assert!(
+        fdo.summary.mpki.l1i < base.summary.mpki.l1i,
+        "l1i mpki {:.2} -> {:.2}",
+        base.summary.mpki.l1i,
+        fdo.summary.mpki.l1i
+    );
+    assert!(fdo.seconds < base.seconds);
+    // The transcode output itself is untouched by a layout change.
+    assert_eq!(fdo.bitrate_kbps, base.bitrate_kbps);
+    assert_eq!(fdo.psnr_db, base.psnr_db);
+}
+
+#[test]
+fn graphite_reduces_data_misses_without_changing_output() {
+    let t = tiny_transcoder("bike", 8, 19);
+    let cfg = EncoderConfig::default();
+    let opts = TranscodeOptions::default();
+    let base = t.transcode(&cfg, &opts).unwrap();
+
+    let binary = compile(
+        BinaryVariant::Graphite,
+        instr::kernel_table(),
+        None,
+        &UarchConfig::baseline(),
+    )
+    .unwrap();
+    let gra = t
+        .transcode(&cfg, &opts.clone().with_binary(&binary))
+        .unwrap();
+
+    let base_data = base.summary.mpki.l1d + base.summary.mpki.l2;
+    let gra_data = gra.summary.mpki.l1d + gra.summary.mpki.l2;
+    assert!(
+        gra_data < base_data,
+        "data mpki {base_data:.2} -> {gra_data:.2}"
+    );
+    assert!(gra.seconds < base.seconds);
+    assert_eq!(gra.bitrate_kbps, base.bitrate_kbps);
+    assert_eq!(gra.psnr_db, base.psnr_db);
+}
+
+#[test]
+fn compiler_opt_run_reports_positive_speedups() {
+    let t = tiny_transcoder("game2", 8, 23);
+    let run = compiler_opt_run(
+        &t,
+        "game2",
+        &[(23, 2, Preset::Veryfast), (30, 1, Preset::Medium)],
+        &TranscodeOptions::default().with_sample_shift(1),
+    )
+    .unwrap();
+    assert!(run.autofdo_speedup > 1.0, "{}", run.autofdo_speedup);
+    assert!(run.graphite_speedup > 1.0, "{}", run.graphite_speedup);
+    // Sanity ceiling: single-digit-to-low-double-digit percent, not 2x.
+    assert!(run.autofdo_speedup < 1.5);
+    assert!(run.graphite_speedup < 1.5);
+}
+
+#[test]
+fn scheduler_study_orders_policies_correctly() {
+    let tasks = vec![
+        TranscodeTask::new("desktop", 30, 4, Preset::Veryfast),
+        TranscodeTask::new("holi", 12, 1, Preset::Veryfast),
+        TranscodeTask::new("game2", 18, 2, Preset::Veryfast),
+    ];
+    let study = scheduler_study_with_tasks(&tasks, 29, 2).unwrap();
+    // best <= smart (one-to-one constraint) and smart should beat random's
+    // expectation on these heterogeneous tasks.
+    assert!(study.best.total_time <= study.smart.total_time + 1e-12);
+    assert!(
+        study.smart.total_time <= study.random_total * 1.02,
+        "smart {} vs random {}",
+        study.smart.total_time,
+        study.random_total
+    );
+    // One-to-one: all assigned configs distinct.
+    let mut seen = [false; 4];
+    for &c in &study.smart.assignment {
+        assert!(!seen[c]);
+        seen[c] = true;
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+
+use vtx_codec::entropy::cabac::{CabacReader, CabacWriter};
+use vtx_codec::entropy::cavlc::{CavlcReader, CavlcWriter};
+use vtx_codec::entropy::{EntropyReader, EntropyWriter};
+use vtx_codec::quant::{dequant4x4, quant4x4};
+use vtx_codec::transform::{dct4x4, idct4x4, Block4x4};
+use vtx_codec::types::Qp;
+use vtx_codec::{decode_video, encode_video, instr, EncoderConfig};
+use vtx_frame::{Frame, Plane, Video};
+use vtx_trace::layout::CodeLayout;
+use vtx_trace::Profiler;
+use vtx_uarch::config::UarchConfig;
+use vtx_uarch::interval::{CoreModel, ExecutionCounts};
+
+fn profiler() -> Profiler {
+    let kernels = instr::kernel_table();
+    Profiler::new(
+        &UarchConfig::baseline(),
+        kernels,
+        CodeLayout::default_order(kernels),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The transform/quantization pipeline at qp<=6 reconstructs residuals
+    /// within +-2 of the original for arbitrary content.
+    #[test]
+    fn transform_quant_roundtrip_is_tight_at_low_qp(
+        vals in proptest::array::uniform16(-100i32..100),
+        qp in 0u8..=6,
+    ) {
+        let src: Block4x4 = vals;
+        let mut b = src;
+        dct4x4(&mut b);
+        quant4x4(&mut b, Qp::new(i32::from(qp)), true);
+        dequant4x4(&mut b, Qp::new(i32::from(qp)));
+        idct4x4(&mut b);
+        for (o, s) in b.iter().zip(src.iter()) {
+            prop_assert!((o - s).abs() <= 2, "{b:?} vs {src:?}");
+        }
+    }
+
+    /// Quantization at any qp never increases coefficient magnitude sign-
+    /// flips: reconstructed residual error is bounded by ~the quant step.
+    #[test]
+    fn quant_error_bounded_by_step(
+        vals in proptest::array::uniform16(-128i32..128),
+        qp in 0u8..=51,
+    ) {
+        let q = Qp::new(i32::from(qp));
+        let src: Block4x4 = vals;
+        let mut b = src;
+        dct4x4(&mut b);
+        quant4x4(&mut b, q, false);
+        dequant4x4(&mut b, q);
+        idct4x4(&mut b);
+        let bound = (q.qstep() * 1.5 + 3.0) as i32;
+        for (o, s) in b.iter().zip(src.iter()) {
+            prop_assert!((o - s).abs() <= bound, "qp {qp}: err {} > {bound}", (o - s).abs());
+        }
+    }
+
+    /// Both entropy backends round-trip arbitrary syntax streams.
+    #[test]
+    fn entropy_backends_roundtrip(
+        values in proptest::collection::vec((0u32..200_000, any::<bool>()), 1..200),
+    ) {
+        // CAVLC
+        let mut w = CavlcWriter::new();
+        for (v, bit) in &values {
+            w.put_ue(3, *v);
+            w.put_bit(5, *bit);
+            w.put_se(7, *v as i32 - 100_000);
+        }
+        let bytes = w.finish();
+        let mut r = CavlcReader::new(&bytes);
+        for (v, bit) in &values {
+            prop_assert_eq!(r.get_ue(3).unwrap(), *v);
+            prop_assert_eq!(r.get_bit(5).unwrap(), *bit);
+            prop_assert_eq!(r.get_se(7).unwrap(), *v as i32 - 100_000);
+        }
+        // CABAC
+        let mut w = CabacWriter::new();
+        for (v, bit) in &values {
+            w.put_ue(3, *v);
+            w.put_bit(5, *bit);
+            w.put_se(7, *v as i32 - 100_000);
+        }
+        let bytes = w.finish();
+        let mut r = CabacReader::new(&bytes);
+        for (v, bit) in &values {
+            prop_assert_eq!(r.get_ue(3).unwrap(), *v);
+            prop_assert_eq!(r.get_bit(5).unwrap(), *bit);
+            prop_assert_eq!(r.get_se(7).unwrap(), *v as i32 - 100_000);
+        }
+    }
+
+    /// Top-down categories always sum to exactly 1 for any counts.
+    #[test]
+    fn topdown_partitions_slots(
+        instructions in 1u64..10_000_000,
+        mispredicts in 0u64..50_000,
+        l2 in 0u64..100_000,
+        l3 in 0u64..20_000,
+        mem in 0u64..10_000,
+        stores_mem in 0u64..50_000,
+        heavy in 0u64..200_000,
+    ) {
+        let mut c = ExecutionCounts::default();
+        c.instructions = instructions;
+        c.uops = instructions + heavy;
+        c.branches = instructions / 5;
+        c.branch_mispredicts = mispredicts.min(c.branches);
+        c.loads.l1 = instructions / 3;
+        c.loads.l2 = l2;
+        c.loads.l3 = l3;
+        c.loads.mem = mem;
+        c.stores.l1 = instructions / 10;
+        c.stores.mem = stores_mem;
+        c.heavy_ops = heavy;
+        c.redirects = instructions / 100;
+        let bd = CoreModel::new(&UarchConfig::baseline()).run(&c);
+        let td = bd.topdown();
+        prop_assert!((td.sum() - 1.0).abs() < 1e-9, "{td:?}");
+        prop_assert!(td.retiring >= 0.0 && td.frontend >= 0.0);
+        prop_assert!(td.bad_speculation >= 0.0 && td.backend() >= 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The decoder must never panic on arbitrary garbage — it either parses
+    /// something or returns a structured error.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut p = profiler();
+        let bs = vtx_codec::encoder::Bitstream { data: bytes };
+        let _ = decode_video(&bs, &mut p);
+    }
+
+    /// Garbage wrapped in a valid-looking container header must also fail
+    /// gracefully (this exercises the entropy decoders on noise).
+    #[test]
+    fn decoder_never_panics_on_wrapped_garbage(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        cabac in any::<bool>(),
+    ) {
+        let mut data = Vec::new();
+        data.extend_from_slice(vtx_codec::encoder::MAGIC);
+        data.push(vtx_codec::encoder::VERSION);
+        data.extend_from_slice(&32u16.to_le_bytes()); // width
+        data.extend_from_slice(&32u16.to_le_bytes()); // height
+        data.push(30); // fps
+        data.extend_from_slice(&1u16.to_le_bytes()); // frame count
+        data.push(if cabac { 1 } else { 0 }); // flags
+        data.push(1); // refs
+        data.push(0); // deblock a
+        data.push(0); // deblock b
+        data.push(8); // scale
+        data.push(0); // frame type I
+        data.extend_from_slice(&0u16.to_le_bytes()); // display index
+        data.push(23); // qp
+        data.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        data.extend_from_slice(&payload);
+        let mut p = profiler();
+        let bs = vtx_codec::encoder::Bitstream { data };
+        let _ = decode_video(&bs, &mut p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Encode -> decode is a bit-exact round trip for random pixel content
+    /// (the toughest possible input: pure noise).
+    #[test]
+    fn random_content_roundtrips(seed in 0u64..1000, crf in 10u8..45) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut spec = vtx_frame::vbench::by_name("cat").unwrap();
+        spec.sim_width = 32;
+        spec.sim_height = 32;
+        spec.sim_frames = 3;
+        let frames: Vec<Frame> = (0..3)
+            .map(|_| {
+                let mut f = Frame::new(32, 32);
+                randomize(f.y_mut(), &mut rng);
+                randomize(f.u_mut(), &mut rng);
+                randomize(f.v_mut(), &mut rng);
+                f
+            })
+            .collect();
+        let video = Video::new(spec, frames);
+        let mut p = profiler();
+        let cfg = EncoderConfig::default().with_crf(f64::from(crf));
+        let enc = encode_video(&video, &cfg, &mut p).unwrap();
+        let dec = decode_video(&enc.bitstream, &mut p).unwrap();
+        for (d, e) in dec.frames.iter().zip(enc.recon.iter()) {
+            prop_assert_eq!(d, e);
+        }
+    }
+}
+
+fn randomize(p: &mut Plane, rng: &mut impl rand::Rng) {
+    for v in p.samples_mut() {
+        *v = rng.gen();
+    }
+}

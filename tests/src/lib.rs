@@ -1,0 +1,24 @@
+//! Shared helpers for the vtx integration tests.
+
+use vtx_core::Transcoder;
+use vtx_frame::{synth, vbench, Video, VideoSpec};
+
+/// A catalog spec shrunk to test size (fast in debug builds) while keeping
+/// the entropy-driven content character.
+pub fn tiny_spec(name: &str, frames: u32) -> VideoSpec {
+    let mut spec = vbench::by_name(name).expect("catalog video");
+    spec.sim_width = 64;
+    spec.sim_height = 48;
+    spec.sim_frames = frames;
+    spec
+}
+
+/// A tiny synthetic clip for `name`.
+pub fn tiny_video(name: &str, frames: u32, seed: u64) -> Video {
+    synth::generate(&tiny_spec(name, frames), seed)
+}
+
+/// A transcoding workload over a tiny clip.
+pub fn tiny_transcoder(name: &str, frames: u32, seed: u64) -> Transcoder {
+    Transcoder::from_video(tiny_video(name, frames, seed)).expect("mezzanine encode")
+}

@@ -6,8 +6,7 @@
 
 use vtx_codec::EncoderConfig;
 use vtx_core::experiments::sweep::{
-    crf_refs_sweep, default_crf_grid, default_refs_grid, full_crf_grid, full_refs_grid,
-    SweepPoint,
+    crf_refs_sweep, default_crf_grid, default_refs_grid, full_crf_grid, full_refs_grid, SweepPoint,
 };
 
 fn heatmap(points: &[SweepPoint], crfs: &[u8], refs: &[u8], f: impl Fn(&SweepPoint) -> f64) {

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("\nprojection A: per-crf bitrate range across refs 1..16");
-    println!("{:>4} {:>9} {:>12} {:>12} {:>11}", "crf", "PSNR(dB)", "min kbps", "max kbps", "line length");
+    println!(
+        "{:>4} {:>9} {:>12} {:>12} {:>11}",
+        "crf", "PSNR(dB)", "min kbps", "max kbps", "line length"
+    );
     for (crf, min, max) in projection_bitrate_range(&points) {
         let psnr = points
             .iter()
@@ -36,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|p| p.psnr_db)
             .sum::<f64>()
             / refs.len() as f64;
-        println!("{crf:>4} {psnr:>9.2} {min:>12.1} {max:>12.1} {:>11.1}", max - min);
+        println!(
+            "{crf:>4} {psnr:>9.2} {min:>12.1} {max:>12.1} {:>11.1}",
+            max - min
+        );
     }
 
     println!("\nprojection B: time (ms) vs refs, one series per crf");

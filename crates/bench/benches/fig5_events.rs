@@ -4,8 +4,7 @@
 
 use vtx_codec::EncoderConfig;
 use vtx_core::experiments::sweep::{
-    crf_refs_sweep, default_crf_grid, default_refs_grid, full_crf_grid, full_refs_grid,
-    SweepPoint,
+    crf_refs_sweep, default_crf_grid, default_refs_grid, full_crf_grid, full_refs_grid, SweepPoint,
 };
 
 fn grid(points: &[SweepPoint], crfs: &[u8], refs: &[u8], f: impl Fn(&SweepPoint) -> f64) {
@@ -49,10 +48,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("(b) L1d MPKI", Box::new(|p| p.summary.mpki.l1d)),
         ("(c) L2 MPKI", Box::new(|p| p.summary.mpki.l2)),
         ("(d) L3 MPKI", Box::new(|p| p.summary.mpki.l3)),
-        ("(e) resource stalls - any (cycles PKI)", Box::new(|p| p.summary.stalls.any)),
-        ("(f) resource stalls - ROB (cycles PKI)", Box::new(|p| p.summary.stalls.rob)),
-        ("(g) resource stalls - RS (cycles PKI)", Box::new(|p| p.summary.stalls.rs)),
-        ("(h) resource stalls - SB (cycles PKI)", Box::new(|p| p.summary.stalls.sb)),
+        (
+            "(e) resource stalls - any (cycles PKI)",
+            Box::new(|p| p.summary.stalls.any),
+        ),
+        (
+            "(f) resource stalls - ROB (cycles PKI)",
+            Box::new(|p| p.summary.stalls.rob),
+        ),
+        (
+            "(g) resource stalls - RS (cycles PKI)",
+            Box::new(|p| p.summary.stalls.rs),
+        ),
+        (
+            "(h) resource stalls - SB (cycles PKI)",
+            Box::new(|p| p.summary.stalls.sb),
+        ),
     ];
     for (title, f) in &panels {
         println!("\n{title}:");

@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         combos.len()
     ));
 
-    let runs = compiler_opt_study(&videos, vtx_bench::SEED, &combos, &vtx_bench::sweep_options())?;
+    let runs = compiler_opt_study(
+        &videos,
+        vtx_bench::SEED,
+        &combos,
+        &vtx_bench::sweep_options(),
+    )?;
 
     println!(
         "\n{:<13} {:>14} {:>12} {:>12}",

@@ -28,8 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  best : {:?}", study.best.assignment);
 
     println!("\nspeedup over baseline:");
-    println!("  random : {:>6.2} %", (study.random_speedup() - 1.0) * 100.0);
-    println!("  smart  : {:>6.2} %", (study.smart_speedup() - 1.0) * 100.0);
+    println!(
+        "  random : {:>6.2} %",
+        (study.random_speedup() - 1.0) * 100.0
+    );
+    println!(
+        "  smart  : {:>6.2} %",
+        (study.smart_speedup() - 1.0) * 100.0
+    );
     println!("  best   : {:>6.2} %", (study.best_speedup() - 1.0) * 100.0);
     println!(
         "\nsmart over random: {:+.2} %  (paper: +3.72%)",

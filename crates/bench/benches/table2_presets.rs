@@ -7,8 +7,18 @@ fn main() {
     vtx_bench::banner("Table II: selection of the important options for different presets");
     println!(
         "{:<10} {:>3} {:>8} {:>8} {:>8} {:>5} {:>8} {:>5} {:>9} {:>6} {:>8} {:>6}",
-        "preset", "aq", "b-adapt", "bframes", "deblock", "me", "merange", "refs", "scenecut",
-        "subme", "trellis", "cabac"
+        "preset",
+        "aq",
+        "b-adapt",
+        "bframes",
+        "deblock",
+        "me",
+        "merange",
+        "refs",
+        "scenecut",
+        "subme",
+        "trellis",
+        "cabac"
     );
     let mut rows = Vec::new();
     for p in Preset::ALL {

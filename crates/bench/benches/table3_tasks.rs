@@ -4,7 +4,10 @@ use vtx_sched::table_iii_tasks;
 
 fn main() {
     vtx_bench::banner("Table III: transcoding parameters used for Sniper simulation");
-    println!("{:<6} {:<14} {:>4} {:>5} {:>10}", "Task#", "Video", "crf", "refs", "Preset");
+    println!(
+        "{:<6} {:<14} {:>4} {:>5} {:>10}",
+        "Task#", "Video", "crf", "refs", "Preset"
+    );
     let tasks = table_iii_tasks();
     for (i, t) in tasks.iter().enumerate() {
         println!(

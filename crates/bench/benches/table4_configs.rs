@@ -10,7 +10,17 @@ fn main() {
     vtx_bench::banner("Table IV: microarchitectural configurations for simulation");
     println!(
         "{:<9} {:>5} {:>5} {:>6} {:>7} {:>7} {:>5} {:>4} {:>4} {:>15} {:>11}",
-        "Config", "L1d", "L1i", "L2", "L3", "L4", "itlb", "ROB", "RS", "issue@dispatch", "predictor"
+        "Config",
+        "L1d",
+        "L1i",
+        "L2",
+        "L3",
+        "L4",
+        "itlb",
+        "ROB",
+        "RS",
+        "issue@dispatch",
+        "predictor"
     );
     let configs = UarchConfig::table_iv();
     for c in &configs {

@@ -40,10 +40,9 @@ pub fn sweep_options() -> TranscodeOptions {
 
 /// Directory for JSON artifacts (`target/vtx-results`).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
-    )
-    .join("vtx-results");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()))
+            .join("vtx-results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

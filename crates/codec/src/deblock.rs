@@ -152,7 +152,14 @@ pub fn deblock_frame(
     let c_bytes = y_bytes / 4;
     let sc = DeblockStrength::new(qp.chroma(), offsets);
     let u_edges = deblock_plane(frame.u_mut(), 8, &sc, prof, vaddr + y_bytes, scale);
-    let v_edges = deblock_plane(frame.v_mut(), 8, &sc, prof, vaddr + y_bytes + c_bytes, scale);
+    let v_edges = deblock_plane(
+        frame.v_mut(),
+        8,
+        &sc,
+        prof,
+        vaddr + y_bytes + c_bytes,
+        scale,
+    );
     let total = y_edges + u_edges + v_edges;
     prof.kernel(kernel, total.max(1), 22, 0);
     prof.branch(3, total > 0);

@@ -154,10 +154,22 @@ pub fn decode_video(bs: &Bitstream, prof: &mut Profiler) -> Result<DecodedVideo,
         prof.load_range(st.bufs.bitstream + pos as u64, len as u64);
         pos += len;
 
-        let frame = if hdr.cabac {
-            decode_frame(&mut st, ftype, qp, display, CabacReader::new(payload), prof)?
-        } else {
-            decode_frame(&mut st, ftype, qp, display, CavlcReader::new(payload), prof)?
+        let frame = {
+            let _frame_span = vtx_telemetry::Span::enter_with(
+                match ftype {
+                    FrameType::I => "decode_frame/I",
+                    FrameType::P => "decode_frame/P",
+                    FrameType::B => "decode_frame/B",
+                },
+                |a| {
+                    a.u64("display", display as u64);
+                },
+            );
+            if hdr.cabac {
+                decode_frame(&mut st, ftype, qp, display, CabacReader::new(payload), prof)?
+            } else {
+                decode_frame(&mut st, ftype, qp, display, CavlcReader::new(payload), prof)?
+            }
         };
 
         if frames[display].is_some() {
@@ -326,8 +338,15 @@ fn decode_frame<R: EntropyReader>(
                     let qp = read_qp(&mut r, &mut prev_qp)?;
                     let fa = anchor_at(st, &list0, 0)?;
                     let ba = anchor_at(st, &list1, 0)?;
-                    let (py, pu, pv) =
-                        build_inter_pred_frames(&fa.frame, Some(&ba.frame), fwd, bwd, dir, mb_x, mb_y);
+                    let (py, pu, pv) = build_inter_pred_frames(
+                        &fa.frame,
+                        Some(&ba.frame),
+                        fwd,
+                        bwd,
+                        dir,
+                        mb_x,
+                        mb_y,
+                    );
                     if dir != 1 {
                         charge_pred(st, fa, mb_x, mb_y, prof);
                     }
@@ -426,13 +445,7 @@ fn read_qp<R: EntropyReader>(r: &mut R, prev: &mut Qp) -> Result<Qp, CodecError>
     Ok(qp)
 }
 
-fn charge_pred(
-    st: &DecoderState,
-    anchor: &Anchor,
-    mb_x: usize,
-    mb_y: usize,
-    prof: &mut Profiler,
-) {
+fn charge_pred(st: &DecoderState, anchor: &Anchor, mb_x: usize, mb_y: usize, prof: &mut Profiler) {
     for row in 0..16usize {
         prof.load(st.bufs.ref_luma(anchor.slot, mb_x * 16, mb_y * 16 + row));
     }
@@ -527,7 +540,13 @@ fn commit(
     charge_stores(st, mb_x, mb_y, cur_slot, prof);
 }
 
-fn charge_stores(st: &DecoderState, mb_x: usize, mb_y: usize, cur_slot: usize, prof: &mut Profiler) {
+fn charge_stores(
+    st: &DecoderState,
+    mb_x: usize,
+    mb_y: usize,
+    cur_slot: usize,
+    prof: &mut Profiler,
+) {
     prof.kernel(K_DEC_RECON, 16, 60, 0);
     for row in 0..16usize {
         prof.store(st.bufs.ref_luma(cur_slot, mb_x * 16, mb_y * 16 + row));

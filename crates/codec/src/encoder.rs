@@ -226,6 +226,19 @@ fn encode_inner(
 
     for (ci, &display) in la.coding_order.iter().enumerate() {
         let ftype = la.types[display];
+        // Per-frame-type span: static name per arm so trace viewers group
+        // I/P/B frames into separate rows.
+        let _frame_span = vtx_telemetry::Span::enter_with(
+            match ftype {
+                FrameType::I => "frame/I",
+                FrameType::P => "frame/P",
+                FrameType::B => "frame/B",
+            },
+            |a| {
+                a.u64("display", display as u64)
+                    .u64("coding_index", ci as u64);
+            },
+        );
         let qp = rc.frame_qp(ftype, la.complexity[display], ci);
         prof.kernel(K_RC, 1, 140, 10);
 
@@ -448,20 +461,15 @@ fn encode_frame<W: EntropyWriter>(
             let src_u = extract_chroma(src, 0, mb_x, mb_y);
             let src_v = extract_chroma(src, 1, mb_x, mb_y);
             for row in 0..16 {
-                prof.load(
-                    st.bufs.src_luma_row(display, mb_y * 16 + row) + (mb_x * 16) as u64,
-                );
+                prof.load(st.bufs.src_luma_row(display, mb_y * 16 + row) + (mb_x * 16) as u64);
             }
 
             // Per-MB QP: adaptive quantization + CBR feedback.
             let mut qp = base_qp;
             if cfg.aq_mode == 1 {
-                let var = src.y().block_variance(
-                    (mb_x * 16) as isize,
-                    (mb_y * 16) as isize,
-                    16,
-                    16,
-                );
+                let var =
+                    src.y()
+                        .block_variance((mb_x * 16) as isize, (mb_y * 16) as isize, 16, 16);
                 qp = Qp::new(i32::from(qp.value()) + aq_offset(var, avg_var));
             }
             qp = rc.mb_qp_adjust(qp, mb_i as u32, mbs_total, w.bits_estimate());
@@ -487,8 +495,17 @@ fn encode_frame<W: EntropyWriter>(
                     w.put_bit(ctx::SKIP, true);
                     let anchor = &st.anchors[list0[0]];
                     write_inter_recon(
-                        st, &mut recon, anchor, None, pred_mv, MotionVector::ZERO, 0, mb_x,
-                        mb_y, cur_slot, prof,
+                        st,
+                        &mut recon,
+                        anchor,
+                        None,
+                        pred_mv,
+                        MotionVector::ZERO,
+                        0,
+                        mb_x,
+                        mb_y,
+                        cur_slot,
+                        prof,
                     );
                     mvs[mb_i] = pred_mv;
                     intra_map[mb_i] = false;
@@ -527,9 +544,18 @@ fn encode_frame<W: EntropyWriter>(
                     let mut cost = r.cost;
                     // P8x8 refinement.
                     if cfg.partitions.p8x8 && r.metric > 500 {
-                        if let Some((m8, c8)) =
-                            try_p8x8(st, &src_y, &st.anchors[list0[ref_idx as usize]], x, y, r.mv, ref_idx, lambda, cfg, prof)
-                        {
+                        if let Some((m8, c8)) = try_p8x8(
+                            st,
+                            &src_y,
+                            &st.anchors[list0[ref_idx as usize]],
+                            x,
+                            y,
+                            r.mv,
+                            ref_idx,
+                            lambda,
+                            cfg,
+                            prof,
+                        ) {
                             prof.branch(10, c8 < cost);
                             if c8 < cost {
                                 mode = m8;
@@ -639,8 +665,22 @@ fn encode_frame<W: EntropyWriter>(
                     write_qp_delta(&mut w, qp, &mut prev_qp);
                     let anchor = &st.anchors[list0[usize::from(ref_idx)]];
                     inter_residual(
-                        st, &mut w, &mut recon, anchor, None, mv, MotionVector::ZERO, 0, &src_y,
-                        &src_u, &src_v, qp, mb_x, mb_y, cur_slot, prof,
+                        st,
+                        &mut w,
+                        &mut recon,
+                        anchor,
+                        None,
+                        mv,
+                        MotionVector::ZERO,
+                        0,
+                        &src_y,
+                        &src_u,
+                        &src_v,
+                        qp,
+                        mb_x,
+                        mb_y,
+                        cur_slot,
+                        prof,
                     );
                     mvs[mb_i] = mv;
                     intra_map[mb_i] = false;
@@ -680,8 +720,22 @@ fn encode_frame<W: EntropyWriter>(
                     let fa = &st.anchors[list0[0]];
                     let ba = &st.anchors[list1[0]];
                     inter_residual(
-                        st, &mut w, &mut recon, fa, Some(ba), fwd, bwd, dir, &src_y, &src_u,
-                        &src_v, qp, mb_x, mb_y, cur_slot, prof,
+                        st,
+                        &mut w,
+                        &mut recon,
+                        fa,
+                        Some(ba),
+                        fwd,
+                        bwd,
+                        dir,
+                        &src_y,
+                        &src_u,
+                        &src_v,
+                        qp,
+                        mb_x,
+                        mb_y,
+                        cur_slot,
+                        prof,
                     );
                     mvs[mb_i] = if dir == 1 { MotionVector::ZERO } else { fwd };
                     intra_map[mb_i] = false;
@@ -699,8 +753,8 @@ fn encode_frame<W: EntropyWriter>(
                     w.put_ue(ctx::IPRED, i16_mode.index());
                     write_qp_delta(&mut w, qp, &mut prev_qp);
                     intra16_residual(
-                        st, &mut w, &mut recon, &i16_pred, &src_y, &src_u, &src_v, qp, mb_x,
-                        mb_y, cur_slot, prof,
+                        st, &mut w, &mut recon, &i16_pred, &src_y, &src_u, &src_v, qp, mb_x, mb_y,
+                        cur_slot, prof,
                     );
                     mvs[mb_i] = MotionVector::ZERO;
                     intra_map[mb_i] = true;
@@ -717,8 +771,8 @@ fn encode_frame<W: EntropyWriter>(
                     w.put_ue(ctx::MB_MODE, mode_idx);
                     write_qp_delta(&mut w, qp, &mut prev_qp);
                     intra4_encode(
-                        st, &mut w, &mut recon, &src_y, &src_u, &src_v, qp, mb_x, mb_y,
-                        cur_slot, prof,
+                        st, &mut w, &mut recon, &src_y, &src_u, &src_v, qp, mb_x, mb_y, cur_slot,
+                        prof,
                     );
                     mvs[mb_i] = MotionVector::ZERO;
                     intra_map[mb_i] = true;
@@ -770,8 +824,7 @@ fn approx_i4_cost(src: &[u8; 256], prof: &mut Profiler) -> u32 {
                 }
             }
             // DC from the block itself (proxy), V/H from neighbouring rows.
-            let mean =
-                (blk.iter().map(|&v| u32::from(v)).sum::<u32>() / 16) as i32;
+            let mean = (blk.iter().map(|&v| u32::from(v)).sum::<u32>() / 16) as i32;
             let dc_cost: u32 = blk
                 .iter()
                 .map(|&v| (i32::from(v) - mean).unsigned_abs())
@@ -898,8 +951,8 @@ fn build_inter_pred(
     let charge = |anchor: &Anchor, mv: MotionVector, prof: &mut Profiler| {
         let (fx, fy) = mv.fullpel();
         for row in 0..16i64 {
-            let ry = (mb_y as i64 * 16 + i64::from(fy) + row)
-                .clamp(0, st.bufs.height() as i64 - 1) as usize;
+            let ry = (mb_y as i64 * 16 + i64::from(fy) + row).clamp(0, st.bufs.height() as i64 - 1)
+                as usize;
             let rx =
                 (mb_x as i64 * 16 + i64::from(fx)).clamp(0, st.bufs.width() as i64 - 1) as usize;
             prof.load(st.bufs.ref_luma(anchor.slot, rx, ry));
@@ -908,8 +961,8 @@ fn build_inter_pred(
         for row in 0..8i64 {
             let ry = (mb_y as i64 * 8 + i64::from(fy / 2) + row)
                 .clamp(0, st.bufs.height() as i64 / 2 - 1) as usize;
-            let rx = (mb_x as i64 * 8 + i64::from(fx / 2))
-                .clamp(0, st.bufs.width() as i64 / 2 - 1) as usize;
+            let rx = (mb_x as i64 * 8 + i64::from(fx / 2)).clamp(0, st.bufs.width() as i64 / 2 - 1)
+                as usize;
             prof.load(st.bufs.ref_chroma(anchor.slot, 0, rx, ry));
             prof.load(st.bufs.ref_chroma(anchor.slot, 1, rx, ry));
         }
@@ -1308,11 +1361,11 @@ mod tests {
         let mb_w = 3;
         // Grid layout (3 wide): index 4 is the centre of a 3x2 grid.
         let mvs = vec![
-            Mv::new(2, 2),   // 0: top-left
-            Mv::new(4, 0),   // 1: top
-            Mv::new(8, -2),  // 2: top-right
-            Mv::new(0, 6),   // 3: left
-            Mv::ZERO,        // 4: current (unset)
+            Mv::new(2, 2),  // 0: top-left
+            Mv::new(4, 0),  // 1: top
+            Mv::new(8, -2), // 2: top-right
+            Mv::new(0, 6),  // 3: left
+            Mv::ZERO,       // 4: current (unset)
             Mv::ZERO,
         ];
         let intra = vec![false; 6];
@@ -1327,7 +1380,7 @@ mod tests {
         let mvs = vec![Mv::new(10, 10); 4];
         let mut intra = vec![false; 4];
         intra[1] = true; // top neighbour of (1,1) in a 2-wide grid
-        // (0,0): no neighbours at all -> zero.
+                         // (0,0): no neighbours at all -> zero.
         assert_eq!(mv_predictor(&mvs, &intra, 2, 0, 0), Mv::ZERO);
         // (1,1): left = mvs[2] = (10,10), top = intra -> 0, topright = off-grid -> 0.
         // median(10,0,0) = 0.

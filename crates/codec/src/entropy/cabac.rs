@@ -239,7 +239,10 @@ mod tests {
         let est = w.bits_estimate();
         let actual = w.finish().len() as f64 * 8.0;
         let ratio = est / actual;
-        assert!((0.7..1.4).contains(&ratio), "estimate off: {est} vs {actual}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "estimate off: {est} vs {actual}"
+        );
     }
 
     #[test]
@@ -268,7 +271,9 @@ mod tests {
     fn cabac_beats_cavlc_on_biased_syntax() {
         use crate::entropy::cavlc::CavlcWriter;
         // Skewed ue values (mostly 0/1) — CABAC should shrink them.
-        let vals: Vec<u32> = (0..20_000).map(|i| if i % 9 == 0 { 3 } else { 0 }).collect();
+        let vals: Vec<u32> = (0..20_000)
+            .map(|i| if i % 9 == 0 { 3 } else { 0 })
+            .collect();
         let mut cw = CabacWriter::new();
         let mut vw = CavlcWriter::new();
         for &v in &vals {

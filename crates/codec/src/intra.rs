@@ -210,8 +210,8 @@ pub fn predict4(recon: &Plane, x: usize, y: usize, mode: Intra4Mode) -> [u8; 16]
                 // Border b[0..9]: left column bottom-to-top, the corner,
                 // then the above row left-to-right.
                 let mut b = [0i32; 9];
-                for i in 0..4 {
-                    b[i] = i32::from(recon.get_clamped(x as isize - 1, (y + 3 - i) as isize));
+                for (i, v) in b.iter_mut().take(4).enumerate() {
+                    *v = i32::from(recon.get_clamped(x as isize - 1, (y + 3 - i) as isize));
                 }
                 b[4] = i32::from(recon.get_clamped(x as isize - 1, y as isize - 1));
                 for i in 0..4 {
@@ -221,8 +221,7 @@ pub fn predict4(recon: &Plane, x: usize, y: usize, mode: Intra4Mode) -> [u8; 16]
                     for c in 0..4 {
                         let d = 4 + c as i32 - r as i32; // diagonal index into b
                         let i = d as usize;
-                        out[r * 4 + c] =
-                            ((b[i - 1] + 2 * b[i] + b[i + 1] + 2) >> 2) as u8;
+                        out[r * 4 + c] = ((b[i - 1] + 2 * b[i] + b[i + 1] + 2) >> 2) as u8;
                     }
                 }
             }
@@ -259,10 +258,9 @@ fn dc_value(
         }
         n += size as u32;
     }
-    if n == 0 {
-        128
-    } else {
-        ((sum + n / 2) / n) as u8
+    match (sum + n / 2).checked_div(n) {
+        Some(avg) => avg as u8,
+        None => 128,
     }
 }
 
@@ -287,7 +285,12 @@ pub fn satd16(src: &[u8; 256], pred: &[u8; 256]) -> u32 {
 
 /// Chooses the cheapest 16x16 intra mode by SATD against the source block.
 /// Returns the mode, its prediction, and its cost.
-pub fn decide16(src: &[u8; 256], recon: &Plane, x: usize, y: usize) -> (Intra16Mode, [u8; 256], u32) {
+pub fn decide16(
+    src: &[u8; 256],
+    recon: &Plane,
+    x: usize,
+    y: usize,
+) -> (Intra16Mode, [u8; 256], u32) {
     let mut best = (Intra16Mode::Dc, [0u8; 256], u32::MAX);
     for mode in Intra16Mode::ALL {
         let pred = predict16(recon, x, y, mode);
@@ -387,7 +390,7 @@ mod tests {
         let pred = predict4(&p, 8, 8, Intra4Mode::DiagDownLeft);
         // Along a 45-degree diagonal, predicted values are constant.
         assert_eq!(pred[2], pred[4 + 1]);
-        assert_eq!(pred[4 + 1], pred[(2 * 4)]);
+        assert_eq!(pred[4 + 1], pred[2 * 4]);
     }
 
     #[test]

@@ -50,8 +50,8 @@ mod bufs;
 mod error;
 
 pub mod config;
-pub mod decoder;
 pub mod deblock;
+pub mod decoder;
 pub mod encoder;
 pub mod entropy;
 pub mod instr;

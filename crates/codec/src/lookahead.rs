@@ -49,11 +49,14 @@ pub fn analyze(video: &Video, cfg: &EncoderConfig, prof: &mut Profiler) -> Looka
     // Adaptive cut detection: a cut is a *spike* relative to the clip's
     // typical inter-frame activity (x264 compares intra vs inter cost, so
     // steady fast motion does not read as a cut), with an absolute floor.
+    // In fast-moving content a hard cut only roughly doubles the luma delta
+    // (the scene is mostly new pixels either way), so the spike multiplier
+    // must sit well below 2x; continuous motion stays near 1x the median.
     if cfg.scenecut > 0 && n > 1 {
         let mut sorted: Vec<f64> = complexity[1..].to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted[sorted.len() / 2];
-        let threshold = cut_threshold(cfg.scenecut).max(1.8 * median);
+        let threshold = cut_threshold(cfg.scenecut).max(1.5 * median);
         for i in 1..n {
             cuts[i] = complexity[i] > threshold;
             prof.branch(0, cuts[i]);

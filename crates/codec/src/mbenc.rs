@@ -135,7 +135,13 @@ fn clip_pixel(v: i32) -> u8 {
     v.clamp(0, 255) as u8
 }
 
-fn sub_block<const N: usize>(src: &[u8], pred: &[u8], stride: usize, bx: usize, by: usize) -> Block4x4 {
+fn sub_block<const N: usize>(
+    src: &[u8],
+    pred: &[u8],
+    stride: usize,
+    bx: usize,
+    by: usize,
+) -> Block4x4 {
     let mut d: Block4x4 = [0; 16];
     for r in 0..4 {
         for c in 0..4 {
@@ -379,8 +385,17 @@ mod tests {
         let pred = [128u8; 256];
         let qp = Qp::new(24);
         let mut w = CavlcWriter::new();
-        let (enc_recon, enc_nz) =
-            encode_luma_residual(&src, &pred, qp, true, 1, &mut w, &mut p, 0x5000_0000, crate::instr::K_CAVLC);
+        let (enc_recon, enc_nz) = encode_luma_residual(
+            &src,
+            &pred,
+            qp,
+            true,
+            1,
+            &mut w,
+            &mut p,
+            0x5000_0000,
+            crate::instr::K_CAVLC,
+        );
         let bytes = w.finish();
         let mut r = CavlcReader::new(&bytes);
         let (dec_recon, dec_nz) =
@@ -396,8 +411,17 @@ mod tests {
         let src = textured_src();
         let pred = [128u8; 256];
         let mut w = CavlcWriter::new();
-        let (recon, _) =
-            encode_luma_residual(&src, &pred, Qp::new(4), true, 0, &mut w, &mut p, 0, crate::instr::K_CAVLC);
+        let (recon, _) = encode_luma_residual(
+            &src,
+            &pred,
+            Qp::new(4),
+            true,
+            0,
+            &mut w,
+            &mut p,
+            0,
+            crate::instr::K_CAVLC,
+        );
         let max_err = src
             .iter()
             .zip(recon.iter())
@@ -414,8 +438,17 @@ mod tests {
         let nz_at = |qp: i32| {
             let mut p = prof();
             let mut w = CavlcWriter::new();
-            let (_, nz) =
-                encode_luma_residual(&src, &pred, Qp::new(qp), true, 0, &mut w, &mut p, 0, crate::instr::K_CAVLC);
+            let (_, nz) = encode_luma_residual(
+                &src,
+                &pred,
+                Qp::new(qp),
+                true,
+                0,
+                &mut w,
+                &mut p,
+                0,
+                crate::instr::K_CAVLC,
+            );
             nz
         };
         assert!(nz_at(10) > nz_at(35));
@@ -431,7 +464,16 @@ mod tests {
         let pred = [128u8; 64];
         let qp = Qp::new(20);
         let mut w = CavlcWriter::new();
-        let (er, _) = encode_chroma_residual(&src, &pred, qp, false, 2, &mut w, &mut p, crate::instr::K_CAVLC);
+        let (er, _) = encode_chroma_residual(
+            &src,
+            &pred,
+            qp,
+            false,
+            2,
+            &mut w,
+            &mut p,
+            crate::instr::K_CAVLC,
+        );
         let bytes = w.finish();
         let mut r = CavlcReader::new(&bytes);
         let (dr, _) = decode_chroma_residual(&pred, qp, &mut r, &mut p).unwrap();

@@ -171,8 +171,8 @@ pub fn search_ref(
     // previous macroblock and are still addressable as hits).
     let sim_width = reference.plane.width() as u64;
     let top = (y as i64 - i64::from(params.merange)).max(0) as u64;
-    let bot = ((y + 16) as i64 + i64::from(params.merange))
-        .min(reference.plane.height() as i64) as u64;
+    let bot =
+        ((y + 16) as i64 + i64::from(params.merange)).min(reference.plane.height() as i64) as u64;
     let tiled = prof.data_plan().tile_me_window && x > 0;
     let (left, span) = if tiled {
         ((x + 16) as i64 - 16, (16 + params.merange) as u64)
@@ -573,7 +573,12 @@ mod tests {
             },
             &mut p,
         );
-        assert!(fine.metric < coarse.metric, "{} vs {}", fine.metric, coarse.metric);
+        assert!(
+            fine.metric < coarse.metric,
+            "{} vs {}",
+            fine.metric,
+            coarse.metric
+        );
         assert!(fine.mv.has_halfpel());
     }
 

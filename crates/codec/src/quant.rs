@@ -96,7 +96,10 @@ mod tests {
         let out = pipeline(src, Qp::new(40), true);
         let src_mean: i32 = src.iter().sum::<i32>() / 16;
         let out_mean: i32 = out.iter().sum::<i32>() / 16;
-        assert!((src_mean - out_mean).abs() <= 8, "mean {src_mean} vs {out_mean}");
+        assert!(
+            (src_mean - out_mean).abs() <= 8,
+            "mean {src_mean} vs {out_mean}"
+        );
     }
 
     #[test]

@@ -84,8 +84,9 @@ impl RateControl {
         }
 
         let base = match self.mode {
-            RateControlMode::Cqp(q) => f64::from(q) - f64::from(type_offset != 0) * 0.0
-                + f64::from(type_offset),
+            RateControlMode::Cqp(q) => {
+                f64::from(q) - f64::from(type_offset != 0) * 0.0 + f64::from(type_offset)
+            }
             RateControlMode::Crf(crf) | RateControlMode::Vbv { crf, .. } => {
                 // Constant quality: busier frames may spend a little more
                 // quantization (keeping perceptual quality roughly constant).
@@ -129,8 +130,7 @@ impl RateControl {
     }
 
     fn abr_qp(&self, bitrate_kbps: u32) -> f64 {
-        26.0 + self.feedback_qp
-            - f64::from(bitrate_kbps).log2() * 0.0 // bitrate enters via feedback
+        26.0 + self.feedback_qp - f64::from(bitrate_kbps).log2() * 0.0 // bitrate enters via feedback
     }
 
     /// Per-macroblock QP correction (CBR only): compares bits spent so far
@@ -165,8 +165,7 @@ impl RateControl {
         | RateControlMode::Cbr { bitrate_kbps }
         | RateControlMode::TwoPassAbr { bitrate_kbps } = self.mode
         {
-            let target = f64::from(bitrate_kbps) * 1000.0 / self.fps
-                * f64::from(self.frames_done);
+            let target = f64::from(bitrate_kbps) * 1000.0 / self.fps * f64::from(self.frames_done);
             let err = (self.bits_so_far - target) / (f64::from(bitrate_kbps) * 1000.0 / self.fps);
             // Integral controller: one full frame budget of error ~ 1 QP.
             self.feedback_qp = (err * 1.0).clamp(-22.0, 22.0);

@@ -176,7 +176,11 @@ fn median3(a: i16, b: i16, c: i16) -> i16 {
 
 /// Bit length of a signed exp-Golomb code for `v`.
 pub fn se_len(v: i32) -> u32 {
-    let mapped = if v <= 0 { (-2 * v) as u32 } else { (2 * v - 1) as u32 };
+    let mapped = if v <= 0 {
+        (-2 * v) as u32
+    } else {
+        (2 * v - 1) as u32
+    };
     ue_len(mapped)
 }
 

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use vtx_codec::{instr, Preset};
 use vtx_opt::{compile, BinaryVariant};
+use vtx_telemetry::Span;
 use vtx_trace::kernel::KernelProfile;
 
 use super::parallel_map;
@@ -69,6 +70,10 @@ pub fn compiler_opt_run(
     combos: &[(u8, u8, Preset)],
     opts: &TranscodeOptions,
 ) -> Result<OptRun, CoreError> {
+    let _span = Span::enter_with("experiment/compiler_opts", |a| {
+        a.str("video", video_name)
+            .u64("combos", combos.len() as u64);
+    });
     let kernels = instr::kernel_table();
 
     // 1. Baseline runs: measure and collect the training profile.
@@ -162,13 +167,7 @@ mod tests {
         spec.sim_frames = 6;
         let t = Transcoder::from_video(synth::generate(&spec, 3)).unwrap();
         let opts = TranscodeOptions::default().with_sample_shift(1);
-        let run = compiler_opt_run(
-            &t,
-            "cricket",
-            &[(23, 3, Preset::Veryfast)],
-            &opts,
-        )
-        .unwrap();
+        let run = compiler_opt_run(&t, "cricket", &[(23, 3, Preset::Veryfast)], &opts).unwrap();
         assert!(
             run.autofdo_speedup > 1.0,
             "autofdo speedup {}",

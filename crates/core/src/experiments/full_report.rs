@@ -89,7 +89,15 @@ impl Characterization {
 /// # Errors
 ///
 /// Propagates transcoding failures and unknown video names.
-pub fn characterize(scope: &ReportScope, opts: &TranscodeOptions) -> Result<Characterization, CoreError> {
+pub fn characterize(
+    scope: &ReportScope,
+    opts: &TranscodeOptions,
+) -> Result<Characterization, CoreError> {
+    let _span = vtx_telemetry::Span::enter_with("experiment/characterize", |a| {
+        a.str("sweep_video", &scope.sweep_video)
+            .u64("crfs", scope.crfs.len() as u64)
+            .u64("refs", scope.refs.len() as u64);
+    });
     let transcoder = Transcoder::from_catalog(&scope.sweep_video, scope.seed)?;
     let sweep = crf_refs_sweep(
         &transcoder,

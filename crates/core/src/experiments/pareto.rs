@@ -21,6 +21,9 @@ fn dominated_by(p: &SweepPoint, q: &SweepPoint) -> bool {
 /// The rate-quality efficient frontier of a sweep, sorted by ascending
 /// bitrate. Among rate-quality ties, the cheaper (faster) point is kept.
 pub fn pareto_front(points: &[SweepPoint]) -> Vec<SweepPoint> {
+    let _span = vtx_telemetry::Span::enter_with("experiment/pareto_front", |a| {
+        a.u64("points", points.len() as u64);
+    });
     let mut front: Vec<SweepPoint> = Vec::new();
     for p in points {
         if points.iter().any(|q| dominated_by(p, q)) {

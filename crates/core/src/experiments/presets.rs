@@ -6,6 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 use vtx_codec::Preset;
+use vtx_telemetry::Span;
 
 use super::parallel_map;
 use crate::{CoreError, RunSummary, TranscodeOptions, Transcoder};
@@ -45,7 +46,13 @@ pub fn preset_study_subset(
     presets: &[Preset],
     opts: &TranscodeOptions,
 ) -> Result<Vec<PresetRun>, CoreError> {
+    let _span = Span::enter_with("experiment/presets", |a| {
+        a.u64("presets", presets.len() as u64);
+    });
     parallel_map(presets.to_vec(), |preset| {
+        let _point = Span::enter_with("preset_run", |a| {
+            a.str("preset", preset.name());
+        });
         // Paper setup: preset options with the default crf (23) and refs (3).
         let cfg = preset.config().with_crf(23.0).with_refs(3);
         let report = transcoder.transcode(&cfg, opts)?;
@@ -103,8 +110,7 @@ mod tests {
     fn slower_presets_compress_better() {
         let t = tiny_transcoder();
         let opts = TranscodeOptions::default().with_sample_shift(2);
-        let runs =
-            preset_study_subset(&t, &[Preset::Ultrafast, Preset::Slow], &opts).unwrap();
+        let runs = preset_study_subset(&t, &[Preset::Ultrafast, Preset::Slow], &opts).unwrap();
         assert!(
             runs[1].bitrate_kbps < runs[0].bitrate_kbps,
             "slow {} should beat ultrafast {}",

@@ -14,6 +14,7 @@ use vtx_sched::scheduler::{
     best_assignment, match_rate, random_expected_time, smart_assignment, ScheduleOutcome,
 };
 use vtx_sched::task::{table_iii_tasks, TranscodeTask};
+use vtx_telemetry::{instant, Span};
 use vtx_uarch::config::UarchConfig;
 
 use super::parallel_map;
@@ -88,6 +89,9 @@ pub fn scheduler_study_with_tasks(
     seed: u64,
     sample_shift: u32,
 ) -> Result<SchedulerStudy, CoreError> {
+    let _span = Span::enter_with("experiment/scheduler", |a| {
+        a.u64("tasks", tasks.len() as u64);
+    });
     let configs = UarchConfig::modified_configs();
     let config_names: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
 
@@ -154,6 +158,21 @@ pub fn scheduler_study_with_tasks(
     let benefit = benefit.clone();
     let best = best_assignment(&times);
     let smart_match_rate = match_rate(&smart.assignment, &best.assignment);
+
+    // One placement event per task: the smart scheduler's pick with its
+    // predicted benefit next to the realized time (and the oracle's pick,
+    // so mispredictions are visible in the trace).
+    for (ti, task) in tasks.iter().enumerate() {
+        let ci = smart.assignment[ti];
+        instant("sched/placement", |a| {
+            a.str("task", &task.video)
+                .str("config", &config_names[ci])
+                .f64("predicted_benefit", benefit[ti][ci])
+                .f64("realized_seconds", times[ti][ci])
+                .str("oracle_config", &config_names[best.assignment[ti]])
+                .f64("oracle_seconds", times[ti][best.assignment[ti]]);
+        });
+    }
 
     Ok(SchedulerStudy {
         tasks: tasks.to_vec(),

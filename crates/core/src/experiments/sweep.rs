@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use vtx_codec::EncoderConfig;
+use vtx_telemetry::{progress::ProgressReporter, Span};
 
 use super::parallel_map;
 use crate::{CoreError, RunSummary, TranscodeOptions, Transcoder};
@@ -64,18 +65,24 @@ pub fn crf_refs_sweep(
     base_cfg: &EncoderConfig,
     opts: &TranscodeOptions,
 ) -> Result<Vec<SweepPoint>, CoreError> {
+    let _span = Span::enter_with("experiment/sweep", |a| {
+        a.u64("crf_values", crfs.len() as u64)
+            .u64("refs_values", refs_list.len() as u64);
+    });
     let mut points = Vec::new();
     for &crf in crfs {
         for &refs in refs_list {
             points.push((crf, refs));
         }
     }
+    let progress = ProgressReporter::new("sweep", points.len() as u64);
     parallel_map(points, |(crf, refs)| {
-        let cfg = base_cfg
-            .clone()
-            .with_crf(f64::from(crf))
-            .with_refs(refs);
+        let _point = Span::enter_with("sweep_point", |a| {
+            a.u64("crf", u64::from(crf)).u64("refs", u64::from(refs));
+        });
+        let cfg = base_cfg.clone().with_crf(f64::from(crf)).with_refs(refs);
         let report = transcoder.transcode(&cfg, opts)?;
+        progress.tick();
         Ok(SweepPoint {
             crf,
             refs,
@@ -142,14 +149,7 @@ mod tests {
     fn sweep_covers_grid_in_order() {
         let t = tiny_transcoder();
         let opts = TranscodeOptions::default().with_sample_shift(1);
-        let pts = crf_refs_sweep(
-            &t,
-            &[20, 40],
-            &[1, 4],
-            &EncoderConfig::default(),
-            &opts,
-        )
-        .unwrap();
+        let pts = crf_refs_sweep(&t, &[20, 40], &[1, 4], &EncoderConfig::default(), &opts).unwrap();
         assert_eq!(pts.len(), 4);
         assert_eq!((pts[0].crf, pts[0].refs), (20, 1));
         assert_eq!((pts[3].crf, pts[3].refs), (40, 4));
@@ -159,14 +159,7 @@ mod tests {
     fn projections_group_by_crf() {
         let t = tiny_transcoder();
         let opts = TranscodeOptions::default().with_sample_shift(1);
-        let pts = crf_refs_sweep(
-            &t,
-            &[20, 40],
-            &[1, 4],
-            &EncoderConfig::default(),
-            &opts,
-        )
-        .unwrap();
+        let pts = crf_refs_sweep(&t, &[20, 40], &[1, 4], &EncoderConfig::default(), &opts).unwrap();
         let proj_b = projection_time_vs_refs(&pts);
         assert_eq!(proj_b.len(), 2);
         assert_eq!(proj_b[0].1.len(), 2);
@@ -181,9 +174,8 @@ mod tests {
     fn sweep_is_deterministic_across_runs() {
         let t = tiny_transcoder();
         let opts = TranscodeOptions::default().with_sample_shift(2);
-        let run = || {
-            crf_refs_sweep(&t, &[20, 36], &[1, 2], &EncoderConfig::default(), &opts).unwrap()
-        };
+        let run =
+            || crf_refs_sweep(&t, &[20, 36], &[1, 2], &EncoderConfig::default(), &opts).unwrap();
         let a = run();
         let b = run();
         assert_eq!(a, b);

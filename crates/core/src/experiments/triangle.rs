@@ -65,12 +65,10 @@ impl TriangleReport {
             sel.iter().sum::<f64>() / sel.len().max(1) as f64
         };
 
-        let at_crf = |crf: u8, g: &dyn Fn(&SweepPoint) -> f64| {
-            avg(&move |p: &SweepPoint| p.crf == crf, g)
-        };
-        let at_refs = |r: u8, g: &dyn Fn(&SweepPoint) -> f64| {
-            avg(&move |p: &SweepPoint| p.refs == r, g)
-        };
+        let at_crf =
+            |crf: u8, g: &dyn Fn(&SweepPoint) -> f64| avg(&move |p: &SweepPoint| p.crf == crf, g);
+        let at_refs =
+            |r: u8, g: &dyn Fn(&SweepPoint) -> f64| avg(&move |p: &SweepPoint| p.refs == r, g);
 
         TriangleDirections {
             crf_degrades_quality: at_crf(hi_crf, &|p| p.psnr_db) < at_crf(lo_crf, &|p| p.psnr_db),
@@ -120,6 +118,7 @@ pub fn triangle_study_with(
     base_cfg: &EncoderConfig,
     opts: &TranscodeOptions,
 ) -> Result<TriangleReport, CoreError> {
+    let _span = vtx_telemetry::Span::enter("experiment/triangle");
     let points = crf_refs_sweep(transcoder, &crfs, &refs, base_cfg, opts)?;
     Ok(TriangleReport { points, crfs, refs })
 }

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use vtx_codec::EncoderConfig;
 use vtx_frame::{synth, vbench, VideoSpec};
+use vtx_telemetry::{progress::ProgressReporter, Span};
 
 use super::parallel_map;
 use crate::{CoreError, RunSummary, TranscodeOptions, Transcoder};
@@ -56,9 +57,17 @@ pub fn video_study(
             .then(a.entropy.total_cmp(&b.entropy))
     });
 
+    let _span = Span::enter_with("experiment/videos", |a| {
+        a.u64("videos", specs.len() as u64);
+    });
+    let progress = ProgressReporter::new("videos", specs.len() as u64);
     parallel_map(specs, |spec| {
+        let _point = Span::enter_with("video_run", |a| {
+            a.str("video", &spec.short_name);
+        });
         let transcoder = Transcoder::from_video(synth::generate(&spec, seed))?;
         let report = transcoder.transcode(&EncoderConfig::default(), opts)?;
+        progress.tick();
         Ok(VideoRun {
             spec,
             bitrate_kbps: report.bitrate_kbps,

@@ -27,14 +27,25 @@ pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Renders a generic table as CSV (RFC-4180-style quoting for commas).
+/// Renders a generic table as CSV with RFC-4180 quoting: fields containing
+/// commas, quotes, CR/LF, or leading/trailing spaces are wrapped in double
+/// quotes (embedded quotes doubled), so embedded newlines survive a
+/// parse-back.
 ///
 /// # Panics
 ///
 /// Panics if any row's width differs from the header's.
 pub fn csv_table(header: &[&str], rows: &[Vec<String>]) -> String {
-    let quote = |s: &str| {
-        if s.contains(',') || s.contains('"') {
+    let needs_quoting = |s: &str| {
+        s.contains(',')
+            || s.contains('"')
+            || s.contains('\n')
+            || s.contains('\r')
+            || s.starts_with(' ')
+            || s.ends_with(' ')
+    };
+    let quote = move |s: &str| {
+        if needs_quoting(s) {
             format!("\"{}\"", s.replace('"', "\"\""))
         } else {
             s.to_owned()
@@ -44,7 +55,11 @@ pub fn csv_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let _ = writeln!(
         out,
         "{}",
-        header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     for row in rows {
         assert_eq!(row.len(), header.len(), "row width mismatch");
@@ -156,10 +171,7 @@ mod tests {
     fn markdown_shape() {
         let md = markdown_table(
             &["a", "b"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["3".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
         );
         let lines: Vec<&str> = md.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -173,6 +185,48 @@ mod tests {
         let csv = csv_table(&["x"], &[vec!["a,b".into()], vec!["plain".into()]]);
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("plain"));
+    }
+
+    /// Minimal RFC-4180 reader used only to verify the writer: splits records
+    /// on unquoted newlines and un-doubles embedded quotes.
+    fn parse_csv(input: &str) -> Vec<Vec<String>> {
+        let mut records = vec![vec![String::new()]];
+        let mut in_quotes = false;
+        let mut chars = input.chars().peekable();
+        while let Some(c) = chars.next() {
+            let record = records.last_mut().unwrap();
+            match c {
+                '"' if in_quotes && chars.peek() == Some(&'"') => {
+                    chars.next();
+                    record.last_mut().unwrap().push('"');
+                }
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => record.push(String::new()),
+                '\n' if !in_quotes => records.push(vec![String::new()]),
+                _ => record.last_mut().unwrap().push(c),
+            }
+        }
+        // Drop the empty record after the trailing newline.
+        if records.last().is_some_and(|r| r == &[String::new()]) {
+            records.pop();
+        }
+        records
+    }
+
+    #[test]
+    fn csv_roundtrips_newlines_quotes_and_edge_spaces() {
+        let rows = vec![
+            vec!["line1\nline2".into(), " leading".into()],
+            vec!["trailing ".into(), "say \"hi\", twice".into()],
+            vec!["plain".into(), "crlf\r\nhere".into()],
+        ];
+        let csv = csv_table(&["a", "b"], &rows);
+        let parsed = parse_csv(&csv);
+        assert_eq!(parsed[0], vec!["a".to_owned(), "b".to_owned()]);
+        for (got, want) in parsed[1..].iter().zip(&rows) {
+            assert_eq!(got, want);
+        }
+        assert_eq!(parsed.len(), 1 + rows.len());
     }
 
     #[test]

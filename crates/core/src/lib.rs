@@ -39,6 +39,7 @@ mod transcoder;
 
 pub mod experiments;
 pub mod export;
+pub mod trace_export;
 
 pub use error::CoreError;
 pub use summary::RunSummary;

@@ -4,6 +4,7 @@ use vtx_codec::encoder::Bitstream;
 use vtx_codec::{decode_video, encode_video, instr, EncoderConfig, RateControlMode};
 use vtx_frame::{quality, synth, vbench, Video};
 use vtx_opt::CompiledBinary;
+use vtx_telemetry::{Collector, Span};
 use vtx_trace::layout::CodeLayout;
 use vtx_trace::plan::DataPlan;
 use vtx_trace::{ProfileReport, Profiler};
@@ -151,6 +152,12 @@ impl Transcoder {
         cfg: &EncoderConfig,
         opts: &TranscodeOptions,
     ) -> Result<TranscodeReport, CoreError> {
+        let _span = Span::enter_with("transcode", |a| {
+            a.str("config", &opts.uarch.name)
+                .str("video", &self.video.spec.short_name)
+                .u64("refs", u64::from(cfg.refs))
+                .u64("sample_shift", u64::from(opts.sample_shift));
+        });
         let kernels = instr::kernel_table();
         let layout = opts
             .layout
@@ -161,17 +168,26 @@ impl Transcoder {
         prof.set_data_plan(opts.plan);
 
         // Stage 1: decode the uploaded bitstream to raw frames.
-        let decoded = decode_video(&self.mezzanine, &mut prof)?;
+        let decoded = {
+            let _s = Span::enter("transcode/decode");
+            decode_video(&self.mezzanine, &mut prof)?
+        };
         let input = Video::new(self.video.spec.clone(), decoded.frames);
 
         // Stage 2: re-encode at the target parameters.
-        let encoded = encode_video(&input, cfg, &mut prof)?;
+        let encoded = {
+            let _s = Span::enter("transcode/encode");
+            encode_video(&input, cfg, &mut prof)?
+        };
 
         let psnr_db = quality::sequence_psnr(&input.frames, &encoded.recon)?;
         let duration = input.len() as f64 / f64::from(input.spec.fps);
         let bitrate_kbps = encoded.bitstream.bitrate_kbps(duration);
 
         let profile = prof.finish();
+        if Collector::is_enabled() {
+            crate::trace_export::record_profile(&profile);
+        }
         Ok(TranscodeReport {
             seconds: profile.seconds,
             bitrate_kbps,

@@ -28,8 +28,8 @@ mod plane;
 pub mod quality;
 pub mod synth;
 pub mod vbench;
-pub mod y4m;
 pub mod video;
+pub mod y4m;
 
 pub use error::FrameError;
 pub use frame::Frame;

@@ -104,15 +104,16 @@ pub fn read_y4m<R: Read>(mut r: R) -> Result<(Vec<Frame>, u32), Y4mError> {
                 let den: u32 = den.parse().map_err(|_| parse_err("bad frame rate"))?;
                 fps = (num + den / 2) / den.max(1);
             }
-            "C"
-                if !val.starts_with("420") => {
-                    return Err(parse_err(format!("unsupported chroma layout C{val}")));
-                }
+            "C" if !val.starts_with("420") => {
+                return Err(parse_err(format!("unsupported chroma layout C{val}")));
+            }
             _ => {} // interlacing / aspect / extensions: ignored
         }
     }
     if width == 0 || height == 0 || width % 2 != 0 || height % 2 != 0 {
-        return Err(parse_err(format!("unsupported dimensions {width}x{height}")));
+        return Err(parse_err(format!(
+            "unsupported dimensions {width}x{height}"
+        )));
     }
 
     let mut frames = Vec::new();

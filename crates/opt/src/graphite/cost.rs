@@ -106,7 +106,10 @@ mod tests {
     fn best_candidate_prefers_fewer_misses() {
         let bad = column_major();
         let good = bad.interchange(0, 1).unwrap();
-        assert_eq!(best_candidate(&[bad.clone(), good.clone()], tiny_cache()), 1);
+        assert_eq!(
+            best_candidate(&[bad.clone(), good.clone()], tiny_cache()),
+            1
+        );
         assert_eq!(best_candidate(&[good, bad], tiny_cache()), 0);
     }
 

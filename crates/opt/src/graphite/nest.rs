@@ -439,7 +439,10 @@ mod tests {
         let n = LoopNest::new("d", vec![16], vec![], vec![]);
         assert!(matches!(
             n.tile(0, 3),
-            Err(TransformError::NonDivisibleTile { extent: 16, tile: 3 })
+            Err(TransformError::NonDivisibleTile {
+                extent: 16,
+                tile: 3
+            })
         ));
         assert!(n.tile(0, 4).is_ok());
     }
@@ -450,9 +453,7 @@ mod tests {
             "d",
             vec![8],
             vec![],
-            vec![Dependence {
-                distance: vec![-1],
-            }],
+            vec![Dependence { distance: vec![-1] }],
         );
         assert!(n.tile(0, 4).is_err());
         assert_eq!(n.tile(0, 0).unwrap_err(), TransformError::ZeroTile);
@@ -499,7 +500,6 @@ mod tests {
         .is_legal());
     }
 }
-
 
 #[cfg(test)]
 mod proptests {

@@ -158,11 +158,15 @@ mod tests {
         };
         // Dense misses: the bigger window (be_op2) is the best fit.
         let dense = benefit_from_characterization(&memory_bound, 12.0, 0.2);
-        let best_dense = (0..4).max_by(|&a, &b| dense[a].total_cmp(&dense[b])).unwrap();
+        let best_dense = (0..4)
+            .max_by(|&a, &b| dense[a].total_cmp(&dense[b]))
+            .unwrap();
         assert_eq!(CONFIG_NAMES[best_dense], "be_op2");
         // Sparse misses: the window already covers them; bigger caches win.
         let sparse = benefit_from_characterization(&memory_bound, 1.0, 0.2);
-        let best_sparse = (0..4).max_by(|&a, &b| sparse[a].total_cmp(&sparse[b])).unwrap();
+        let best_sparse = (0..4)
+            .max_by(|&a, &b| sparse[a].total_cmp(&sparse[b]))
+            .unwrap();
         assert_eq!(CONFIG_NAMES[best_sparse], "be_op1");
     }
 

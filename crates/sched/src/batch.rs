@@ -70,12 +70,8 @@ pub fn lpt_schedule(pred_times: &[Vec<f64>]) -> BatchSchedule {
     let n = pred_times.len();
 
     let mut order: Vec<usize> = (0..n).collect();
-    let best_time = |t: usize| -> f64 {
-        pred_times[t]
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
-    };
+    let best_time =
+        |t: usize| -> f64 { pred_times[t].iter().copied().fold(f64::INFINITY, f64::min) };
     order.sort_by(|&a, &b| best_time(b).total_cmp(&best_time(a)));
 
     let mut loads = vec![0.0f64; m];

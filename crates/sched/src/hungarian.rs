@@ -152,7 +152,9 @@ mod tests {
         // Deterministic pseudo-random matrices.
         let mut state = 0x1234_5678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             ((state >> 33) % 1000) as f64 / 10.0
         };
         for trial in 0..50 {

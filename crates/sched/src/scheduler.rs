@@ -67,9 +67,32 @@ pub fn best_assignment(times: &[Vec<f64>]) -> ScheduleOutcome {
         .enumerate()
         .map(|(i, &j)| times[i][j])
         .sum();
+    emit_placements("best", &assignment, None, times);
     ScheduleOutcome {
         assignment,
         total_time,
+    }
+}
+
+/// Records one telemetry event per task placement: the chosen configuration
+/// index, its predicted benefit (when the policy has one) and the realized
+/// measured time. No-ops while telemetry is disabled.
+fn emit_placements(
+    policy: &'static str,
+    assignment: &[usize],
+    benefit: Option<&[Vec<f64>]>,
+    times: &[Vec<f64>],
+) {
+    for (task, &config) in assignment.iter().enumerate() {
+        vtx_telemetry::instant("sched/assign", |a| {
+            a.str("policy", policy)
+                .u64("task", task as u64)
+                .u64("config", config as u64)
+                .f64("realized_time", times[task][config]);
+            if let Some(b) = benefit {
+                a.f64("predicted_benefit", b[task][config]);
+            }
+        });
     }
 }
 
@@ -99,6 +122,7 @@ pub fn smart_assignment(benefit: &[Vec<f64>], times: &[Vec<f64>]) -> ScheduleOut
         .enumerate()
         .map(|(i, &j)| times[i][j])
         .sum();
+    emit_placements("smart", &assignment, Some(benefit), times);
     ScheduleOutcome {
         assignment,
         total_time,

@@ -64,10 +64,7 @@ mod tests {
     #[test]
     fn table_iii_matches_paper() {
         let t = table_iii_tasks();
-        assert_eq!(
-            t[0],
-            TranscodeTask::new("desktop", 30, 8, Preset::Veryfast)
-        );
+        assert_eq!(t[0], TranscodeTask::new("desktop", 30, 8, Preset::Veryfast));
         assert_eq!(t[1], TranscodeTask::new("holi", 10, 1, Preset::Slow));
         assert_eq!(
             t[2],

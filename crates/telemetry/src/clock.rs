@@ -1,0 +1,27 @@
+//! Process-wide monotonic clock: microseconds since the first observation.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process epoch (set on first call).
+///
+/// Monotonic and cheap; all telemetry timestamps share this epoch so spans
+/// from different threads line up on one timeline.
+pub(crate) fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,360 @@
+//! Process-wide metrics: counters, gauges and log₂-bucket histograms.
+//!
+//! Metrics are keyed by static names and live for the whole process:
+//! [`counter`], [`gauge`] and [`histogram`] hand out `&'static` handles, so
+//! hot paths pay a registry lookup only once if they cache the handle, and
+//! updates are plain atomic operations either way.
+//!
+//! ```
+//! use vtx_telemetry::metrics;
+//!
+//! metrics::counter("doc/points").add(3);
+//! metrics::histogram("doc/latency_us").record(1500);
+//! assert!(metrics::counter("doc/points").value() >= 3);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the latest `f64` sample.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: bucket `i` covers `[2^(i-1), 2^i)` (bucket 0
+/// holds zeros), so 65 buckets cover the whole `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucket histogram of `u64` samples (typically microseconds).
+///
+/// Recording is one atomic increment; quantile summaries report the upper
+/// bound of the bucket containing the requested rank, so they overestimate
+/// by at most 2× — the right trade for "is p99 10µs or 10ms?" questions.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+/// p50/p90/p99 plus count and mean, as reported by [`Histogram::summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based, clamped into [1, total].
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^i - 1 values-wise; report 2^(i)-1
+                // for i = 0 (zeros) this is 0.
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// The p50/p90/p99 summary.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / count as f64
+        };
+        HistogramSummary {
+            count,
+            mean,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    // A panic while registering (e.g. a kind mismatch) never leaves the map
+    // half-updated, so a poisoned lock is still safe to reuse.
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The counter registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry();
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::default()))))
+    {
+        Metric::Counter(c) => c,
+        _ => panic!("metric '{name}' already registered with a different kind"),
+    }
+}
+
+/// The gauge registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry();
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::default()))))
+    {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric '{name}' already registered with a different kind"),
+    }
+}
+
+/// The histogram registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry();
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new()))))
+    {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric '{name}' already registered with a different kind"),
+    }
+}
+
+/// A text dump of every registered metric, one `name value` line each —
+/// counters and gauges verbatim, histograms as count/mean/p50/p90/p99.
+pub fn render_all() -> String {
+    use std::fmt::Write as _;
+    let reg = registry();
+    let mut out = String::new();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "{name} {}", c.value());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "{name} {}", g.value());
+            }
+            Metric::Histogram(h) => {
+                let s = h.summary();
+                let _ = writeln!(
+                    out,
+                    "{name} count={} mean={:.1} p50={} p90={} p99={}",
+                    s.count, s.mean, s.p50, s.p90, s.p99
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = counter("test/metrics/counter");
+        c.add(2);
+        c.add(3);
+        assert!(c.value() >= 5);
+        let g = gauge("test/metrics/gauge");
+        g.set(2.5);
+        assert_eq!(g.value(), 2.5);
+    }
+
+    #[test]
+    fn registry_returns_same_instance() {
+        let a = counter("test/metrics/same") as *const Counter;
+        let b = counter("test/metrics/same") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test/metrics/mismatch");
+        let _ = gauge("test/metrics/mismatch");
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    /// Reference quantile: sort the raw samples, take the 1-based
+    /// `ceil(q*n)`-th.
+    fn reference_quantile(samples: &[u64], q: f64) -> u64 {
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    }
+
+    /// Property-style check against the reference computation over several
+    /// deterministic pseudo-random distributions: the histogram quantile
+    /// must bracket the true quantile from above within its 2x bucket
+    /// resolution.
+    #[test]
+    fn quantiles_track_reference_within_bucket_resolution() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        for dist in 0..6 {
+            let h = Histogram::new();
+            let samples: Vec<u64> = (0..5000)
+                .map(|i| match dist {
+                    0 => next() % 100,             // near-uniform small
+                    1 => next() % 1_000_000,       // uniform wide
+                    2 => 1u64 << (next() % 20),    // exponential-ish
+                    3 => 50,                       // constant
+                    4 => i % 7,                    // tiny values incl. zero
+                    _ => (next() % 10).pow(3) + 1, // skewed
+                })
+                .collect();
+            for &s in &samples {
+                h.record(s);
+            }
+            for q in [0.5, 0.9, 0.99] {
+                let reference = reference_quantile(&samples, q);
+                let estimate = h.quantile(q);
+                assert!(
+                    estimate >= reference,
+                    "dist {dist} q {q}: estimate {estimate} < reference {reference}"
+                );
+                // Upper bucket bound overestimates by < 2x (plus the
+                // zero-bucket edge case).
+                assert!(
+                    estimate <= reference.saturating_mul(2).max(1),
+                    "dist {dist} q {q}: estimate {estimate} > 2x reference {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_of_empty_histogram() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn render_all_lists_metrics() {
+        counter("test/metrics/render").add(1);
+        histogram("test/metrics/render_hist").record(10);
+        let text = render_all();
+        assert!(text.contains("test/metrics/render "));
+        assert!(text.contains("test/metrics/render_hist count="));
+    }
+}

@@ -64,11 +64,7 @@ impl CodeLayout {
     /// # Panics
     ///
     /// Panics if `order` is not a permutation of `0..kernels.len()`.
-    pub fn with_order_and_gap(
-        kernels: &[KernelDesc],
-        order: &[KernelId],
-        gap_factor: u32,
-    ) -> Self {
+    pub fn with_order_and_gap(kernels: &[KernelDesc], order: &[KernelId], gap_factor: u32) -> Self {
         assert_eq!(order.len(), kernels.len(), "order must cover all kernels");
         let mut seen = vec![false; kernels.len()];
         for &k in order {

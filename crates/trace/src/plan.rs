@@ -48,7 +48,9 @@ impl DataPlan {
 
     /// Number of transformations enabled.
     pub fn enabled_count(&self) -> u32 {
-        u32::from(self.fuse_deblock) + u32::from(self.tile_me_window) + u32::from(self.fuse_residual)
+        u32::from(self.fuse_deblock)
+            + u32::from(self.tile_me_window)
+            + u32::from(self.fuse_residual)
     }
 }
 

@@ -437,6 +437,119 @@ mod tests {
     }
 
     #[test]
+    fn sample_shift_clamps_to_16() {
+        let mut clamped = profiler();
+        clamped.set_sample_shift(31);
+        let mut max = profiler();
+        max.set_sample_shift(16);
+        // The active/skip pattern of an over-large shift matches shift 16
+        // exactly; an unclamped shift of 31 would overflow the burst mask.
+        for index in [
+            0,
+            15,
+            16,
+            17,
+            SAMPLE_BURST * ((1 << 16) - 1),
+            SAMPLE_BURST << 16,
+        ] {
+            clamped.begin_unit(index);
+            max.begin_unit(index);
+            assert_eq!(clamped.is_active(), max.is_active(), "unit {index}");
+        }
+    }
+
+    #[test]
+    fn sampled_counters_are_scale_multiples() {
+        let shift = 3u32;
+        let mut p = profiler();
+        p.set_sample_shift(shift);
+        let buf = p.alloc("buf", 1 << 16);
+        for unit in 0..4096u64 {
+            p.begin_unit(unit);
+            p.kernel((unit % 3) as usize, 4, 10, 1);
+            p.load(buf + (unit * 64) % (1 << 16));
+            p.store(buf + (unit * 128) % (1 << 16));
+            p.branch(0, unit % 7 < 3);
+        }
+        let r = p.finish();
+        // Everything in the sampled domain is scaled by exactly 2^shift at
+        // finish(), so the reported totals must be multiples of it.
+        let scale = 1u64 << shift;
+        for (name, v) in [
+            ("branches", r.counts.branches),
+            ("mispredicts", r.counts.branch_mispredicts),
+            ("redirects", r.counts.redirects),
+            ("loads", r.counts.loads.total()),
+            ("stores", r.counts.stores.total()),
+            ("itlb", r.counts.itlb_misses),
+        ] {
+            assert_eq!(v % scale, 0, "{name} = {v} not a multiple of {scale}");
+        }
+        assert!(r.counts.branches > 0 && r.counts.loads.total() > 0);
+    }
+
+    #[test]
+    fn sampling_preserves_rates_within_tolerance() {
+        // A macroblock-like walk: mostly sequential loads with a data-
+        // dependent branch. Sampled rates can't match exactly, but
+        // per-instruction rates must stay close to the full trace — that is
+        // the contract that makes sampled sweeps trustworthy. (Burst
+        // sampling assumes this kind of locality; a fully random access
+        // stream would give each burst different cache warmth.)
+        let run = |shift: u32| {
+            let mut p = profiler();
+            p.set_sample_shift(shift);
+            let buf = p.alloc("buf", 1 << 20);
+            let mut x = 9_871u64;
+            for unit in 0..8192u64 {
+                p.begin_unit(unit);
+                p.kernel((unit % 3) as usize, 6, 12, 1);
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                // Sequential per-unit line, plus a jittered touch within
+                // it (spatial locality a burst always captures; jitter that
+                // crossed burst boundaries would be invisible to sampling).
+                p.load(buf + (unit * 64) % (1 << 20));
+                p.load(buf + (unit * 64 + (x >> 32) % 64) % (1 << 20));
+                p.branch(0, x & 8 != 0);
+            }
+            p.finish()
+        };
+        let full = run(0);
+        let sampled = run(2);
+        assert_eq!(full.counts.instructions, sampled.counts.instructions);
+        let rel = |a: f64, b: f64| (a - b).abs() / a.max(1e-12);
+        assert!(
+            rel(full.counts.branches as f64, sampled.counts.branches as f64) < 0.05,
+            "branch totals diverge: {} vs {}",
+            full.counts.branches,
+            sampled.counts.branches
+        );
+        assert!(
+            rel(
+                full.counts.loads.total() as f64,
+                sampled.counts.loads.total() as f64
+            ) < 0.05,
+            "load totals diverge: {} vs {}",
+            full.counts.loads.total(),
+            sampled.counts.loads.total()
+        );
+        assert!(
+            rel(full.mpki.l1d, sampled.mpki.l1d) < 0.25,
+            "L1d MPKI drifts: {} vs {}",
+            full.mpki.l1d,
+            sampled.mpki.l1d
+        );
+        assert!(
+            rel(full.ipc, sampled.ipc) < 0.15,
+            "IPC drifts: l1d {} vs {}, ipc {} vs {}",
+            full.mpki.l1d,
+            sampled.mpki.l1d,
+            full.ipc,
+            sampled.ipc
+        );
+    }
+
+    #[test]
     fn alloc_addresses_are_disjoint_and_stable() {
         let mut p1 = profiler();
         let a1 = p1.alloc("x", 1000);

@@ -71,6 +71,22 @@ impl ProfileReport {
         }
         baseline.seconds / self.seconds
     }
+
+    /// Accumulates this run's kernel hotspots into `out` as flamegraph
+    /// collapsed stacks (`config;kernel weight`, weight = simulated
+    /// instructions). Render with `flamegraph.pl` / `inferno-flamegraph`.
+    pub fn collapse_hotspots_into(&self, out: &mut vtx_telemetry::flame::CollapsedStacks) {
+        for (name, insns) in &self.hotspots {
+            out.add(&[self.config_name.as_str(), name.as_str()], *insns);
+        }
+    }
+
+    /// This run's kernel hotspots as a standalone collapsed-stack set.
+    pub fn collapsed_stacks(&self) -> vtx_telemetry::flame::CollapsedStacks {
+        let mut out = vtx_telemetry::flame::CollapsedStacks::new();
+        self.collapse_hotspots_into(&mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +133,14 @@ mod tests {
         let fast = dummy(1.0);
         assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
         assert!((base.speedup_vs(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapsed_stacks_from_hotspots() {
+        let mut r = dummy(1.0);
+        r.hotspots = vec![("me_sad".into(), 900), ("idct".into(), 100)];
+        let text = r.collapsed_stacks().render();
+        assert_eq!(text, "baseline;idct 100\nbaseline;me_sad 900\n");
     }
 
     #[test]

@@ -131,8 +131,7 @@ impl BranchPredictor for PentiumM {
             self.chooser[ci].update(global_pred == taken);
         }
         self.loop_update(pc, taken);
-        self.local_history[li] =
-            ((hist << 1) | u16::from(taken)) & ((1 << LOCAL_HIST_BITS) - 1);
+        self.local_history[li] = ((hist << 1) | u16::from(taken)) & ((1 << LOCAL_HIST_BITS) - 1);
         self.ghr = (self.ghr << 1) | u64::from(taken);
 
         pred == taken
@@ -194,11 +193,7 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
         let mut p = PentiumM::new();
         let outcomes: Vec<bool> = (0..4000).map(|_| rng.gen()).collect();
-        let acc = accuracy(
-            &mut p,
-            outcomes.iter().map(|&t| (0x77u64, t)),
-            1000,
-        );
+        let acc = accuracy(&mut p, outcomes.iter().map(|&t| (0x77u64, t)), 1000);
         assert!(acc < 0.65, "random stream should not be predictable: {acc}");
     }
 }

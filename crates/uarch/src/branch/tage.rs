@@ -184,8 +184,8 @@ impl BranchPredictor for Tage {
                     .filter(|&t| self.tables[t].entries[idx[t]].useful == 0)
                     .collect();
                 if candidates.is_empty() {
-                    for t in start..self.tables.len() {
-                        let e = &mut self.tables[t].entries[idx[t]];
+                    for (t, tab) in self.tables.iter_mut().enumerate().skip(start) {
+                        let e = &mut tab.entries[idx[t]];
                         e.useful = e.useful.saturating_sub(1);
                     }
                 } else {

@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut c = tiny(); // 2 ways, set = line % 4
-        // Three lines mapping to set 0: 0, 4, 8
+                            // Three lines mapping to set 0: 0, 4, 8
         c.access_line(0);
         c.access_line(4);
         c.access_line(0); // 0 is now MRU, 4 is LRU
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = Cache::new(CacheParams::new(1, 2, 1)).unwrap(); // 1 KiB = 16 lines
-        // Stream 64 distinct lines twice: second pass must still miss heavily.
+                                                                    // Stream 64 distinct lines twice: second pass must still miss heavily.
         for _ in 0..2 {
             for line in 0..64u64 {
                 c.access_line(line);

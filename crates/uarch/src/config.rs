@@ -215,7 +215,8 @@ mod tests {
     #[test]
     fn all_configs_validate() {
         for cfg in UarchConfig::table_iv() {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
         assert_eq!(UarchConfig::modified_configs().len(), 4);
     }
@@ -233,8 +234,7 @@ mod tests {
     fn old_configs_without_prefetcher_field_deserialize() {
         // The l1d_prefetcher field is a post-Table-IV extension with
         // #[serde(default)]: configs serialized before it must still load.
-        let mut json: serde_json::Value =
-            serde_json::to_value(UarchConfig::baseline()).unwrap();
+        let mut json: serde_json::Value = serde_json::to_value(UarchConfig::baseline()).unwrap();
         json.as_object_mut().unwrap().remove("l1d_prefetcher");
         let back: UarchConfig = serde_json::from_value(json).unwrap();
         assert_eq!(back.l1d_prefetcher, crate::prefetch::PrefetcherKind::None);

@@ -128,14 +128,26 @@ impl MemoryHierarchy {
     pub fn fetch_line(&mut self, line: u64) -> HitLevel {
         // 64 B lines, 4 KiB pages -> 64 lines per page.
         self.itlb.access_page(line >> 6);
-        let level = Self::walk(&mut self.l1i, &mut self.l2, &mut self.l3, self.l4.as_mut(), line);
+        let level = Self::walk(
+            &mut self.l1i,
+            &mut self.l2,
+            &mut self.l3,
+            self.l4.as_mut(),
+            line,
+        );
         self.inst.record(level);
         level
     }
 
     /// Loads a data cache line.
     pub fn load_line(&mut self, line: u64) -> HitLevel {
-        let level = Self::walk(&mut self.l1d, &mut self.l2, &mut self.l3, self.l4.as_mut(), line);
+        let level = Self::walk(
+            &mut self.l1d,
+            &mut self.l2,
+            &mut self.l3,
+            self.l4.as_mut(),
+            line,
+        );
         self.loads.record(level);
         self.run_prefetcher(line, level != HitLevel::L1);
         level
@@ -143,7 +155,13 @@ impl MemoryHierarchy {
 
     /// Stores to a data cache line (write-allocate).
     pub fn store_line(&mut self, line: u64) -> HitLevel {
-        let level = Self::walk(&mut self.l1d, &mut self.l2, &mut self.l3, self.l4.as_mut(), line);
+        let level = Self::walk(
+            &mut self.l1d,
+            &mut self.l2,
+            &mut self.l3,
+            self.l4.as_mut(),
+            line,
+        );
         self.stores.record(level);
         level
     }
@@ -156,7 +174,13 @@ impl MemoryHierarchy {
             return;
         }
         for pf in self.prefetcher.on_access(line, missed) {
-            Self::walk(&mut self.l1d, &mut self.l2, &mut self.l3, self.l4.as_mut(), pf);
+            Self::walk(
+                &mut self.l1d,
+                &mut self.l2,
+                &mut self.l3,
+                self.l4.as_mut(),
+                pf,
+            );
         }
     }
 

@@ -281,7 +281,7 @@ impl CoreModel {
         let pre_cycles = (base + frontend + badspec + memory).max(1.0);
         let occupancy = store_fill_cycles / pre_cycles; // average entries in use
         let pressure = occupancy / f64::from(cfg.sb_size);
-        let sb = pre_cycles * (pressure - p.sb_threshold).max(0.0).min(0.5);
+        let sb = pre_cycles * (pressure - p.sb_threshold).clamp(0.0, 0.5);
 
         // --- Core (execution resource) pressure ---
         // Heavy uops contend for the long-latency ports; a smaller RS exposes

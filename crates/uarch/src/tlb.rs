@@ -78,7 +78,9 @@ impl Tlb {
             set_mask: sets - 1,
             set_shift: sets.trailing_zeros(),
             tags: vec![INVALID; sets as usize * ways],
-            lru: (0..sets as usize * ways).map(|i| (i % ways) as u32).collect(),
+            lru: (0..sets as usize * ways)
+                .map(|i| (i % ways) as u32)
+                .collect(),
             stats: TlbStats::default(),
         })
     }

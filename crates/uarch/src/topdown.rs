@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn bottleneck_selection() {
-        assert_eq!(td(0.4, 0.3, 0.1, 0.1, 0.1).bottleneck(), Bottleneck::FrontEnd);
+        assert_eq!(
+            td(0.4, 0.3, 0.1, 0.1, 0.1).bottleneck(),
+            Bottleneck::FrontEnd
+        );
         assert_eq!(
             td(0.4, 0.1, 0.3, 0.1, 0.1).bottleneck(),
             Bottleneck::BadSpeculation

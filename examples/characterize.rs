@@ -2,17 +2,33 @@
 //! characterization report.
 //!
 //! ```text
-//! cargo run --release -p vtx-examples --bin characterize [sweep_video]
+//! cargo run --release --example characterize -- [sweep_video] [--trace-out FILE]
 //! ```
+//!
+//! With `--trace-out FILE` (or the `VTX_TRACE=FILE` environment variable)
+//! telemetry is recorded and exported as Chrome trace-event JSON: open the
+//! file in Perfetto or `chrome://tracing` to see per-point sweep spans,
+//! per-frame codec spans, and one simulated-time track per
+//! microarchitecture configuration.
 
 use vtx_core::experiments::full_report::{characterize, ReportScope};
-use vtx_core::TranscodeOptions;
+use vtx_core::{trace_export, TranscodeOptions};
+use vtx_telemetry::Collector;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scope = ReportScope::default();
-    if let Some(video) = std::env::args().nth(1) {
-        scope.sweep_video = video;
+    let mut trace_out = trace_export::init_from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            let path = args.next().ok_or("--trace-out needs a file path")?;
+            Collector::enable();
+            trace_out = Some(path);
+        } else {
+            scope.sweep_video = arg;
+        }
     }
+
     println!(
         "characterizing: sweep on '{}', {} crf x {} refs, {} presets, {} videos...",
         scope.sweep_video,
@@ -31,5 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&path, &md)?;
     println!("\n{md}");
     println!("[written to {}]", path.display());
+
+    if let Some(trace_path) = trace_out {
+        trace_export::write_chrome_trace(&trace_path)?;
+        println!("[trace written to {trace_path} — load it in Perfetto or chrome://tracing]");
+    }
     Ok(())
 }

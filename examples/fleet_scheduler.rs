@@ -6,12 +6,28 @@
 //! (characterization-driven, one-to-one) and best (oracle) schedulers.
 //!
 //! ```text
-//! cargo run --release -p vtx-examples --bin fleet_scheduler
+//! cargo run --release --example fleet_scheduler -- [--trace-out FILE]
 //! ```
+//!
+//! With `--trace-out FILE` (or `VTX_TRACE=FILE`) the run records telemetry —
+//! including one `sched/placement` event per task with the predicted benefit
+//! next to the realized time — and writes Chrome trace-event JSON.
 
 use vtx_core::experiments::scheduler::scheduler_study;
+use vtx_core::trace_export;
+use vtx_telemetry::Collector;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out = trace_export::init_from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            let path = args.next().ok_or("--trace-out needs a file path")?;
+            Collector::enable();
+            trace_out = Some(path);
+        }
+    }
+
     println!("measuring Table III tasks on the Table IV configurations...");
     let study = scheduler_study(42, 1)?;
 
@@ -58,13 +74,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  best : {:?}", study.best.assignment);
 
     println!("\nspeedup over running everything on the baseline server:");
-    println!("  random scheduler : {:>6.2} %", (study.random_speedup() - 1.0) * 100.0);
-    println!("  smart scheduler  : {:>6.2} %", (study.smart_speedup() - 1.0) * 100.0);
-    println!("  best scheduler   : {:>6.2} %", (study.best_speedup() - 1.0) * 100.0);
+    println!(
+        "  random scheduler : {:>6.2} %",
+        (study.random_speedup() - 1.0) * 100.0
+    );
+    println!(
+        "  smart scheduler  : {:>6.2} %",
+        (study.smart_speedup() - 1.0) * 100.0
+    );
+    println!(
+        "  best scheduler   : {:>6.2} %",
+        (study.best_speedup() - 1.0) * 100.0
+    );
     println!(
         "\nsmart vs random: {:+.2} %   |   smart matches best on {:.0} % of tasks",
         (study.smart_over_random() - 1.0) * 100.0,
         study.smart_match_rate * 100.0
     );
+
+    if let Some(trace_path) = trace_out {
+        trace_export::write_chrome_trace(&trace_path)?;
+        println!("[trace written to {trace_path} — load it in Perfetto or chrome://tracing]");
+    }
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! effect of recompiling with the AutoFDO / Graphite analogs.
 //!
 //! ```text
-//! cargo run --release -p vtx-examples --bin profile_hotspots [video] [preset]
+//! cargo run --release --example profile_hotspots -- [video] [preset]
 //! ```
 
 use vtx_codec::{instr, Preset};
@@ -29,8 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = base.profile.counts.instructions as f64;
     for (name, insns) in base.profile.hotspots.iter().take(10) {
         let pct = *insns as f64 * 100.0 / total;
-        println!("  {name:<14} {pct:>5.1} %  {}", "#".repeat((pct / 2.0) as usize));
+        println!(
+            "  {name:<14} {pct:>5.1} %  {}",
+            "#".repeat((pct / 2.0) as usize)
+        );
     }
+
+    // The same hotspots as flamegraph input: collapsed stacks weighted by
+    // simulated instructions, ready for flamegraph.pl / inferno-flamegraph.
+    let folded_path = std::path::Path::new("target").join("vtx-hotspots.folded");
+    std::fs::create_dir_all("target")?;
+    std::fs::write(&folded_path, base.profile.collapsed_stacks().render())?;
+    println!("\n[collapsed stacks written to {}]", folded_path.display());
     let td = &base.summary.topdown;
     println!(
         "\nbottlenecks: retiring {:.1}% | FE {:.1}% | BS {:.1}% | BE-mem {:.1}% | BE-core {:.1}%",

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = transcoder.transcode(&cfg, &TranscodeOptions::default())?;
 
     println!("\ntranscode (medium preset, crf {crf}, refs {refs}) on the baseline core:");
-    println!("  time     : {:>10.4} s (simulated at 3.5 GHz)", report.seconds);
+    println!(
+        "  time     : {:>10.4} s (simulated at 3.5 GHz)",
+        report.seconds
+    );
     println!("  bitrate  : {:>10.1} kbps", report.bitrate_kbps);
     println!("  quality  : {:>10.2} dB PSNR", report.psnr_db);
     println!("  IPC      : {:>10.2}", report.summary.ipc);
@@ -48,8 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let m = &report.summary.mpki;
     println!("\nmiss rates (per kilo-instruction):");
-    println!("  L1i {:.3}  L1d {:.3}  L2 {:.3}  L3 {:.3}  branch {:.3}  iTLB {:.3}",
-        m.l1i, m.l1d, m.l2, m.l3, m.branch, m.itlb);
+    println!(
+        "  L1i {:.3}  L1d {:.3}  L2 {:.3}  L3 {:.3}  branch {:.3}  iTLB {:.3}",
+        m.l1i, m.l1d, m.l2, m.l3, m.branch, m.itlb
+    );
 
     println!("\ntop hotspots:");
     for (name, insns) in report.profile.hotspots.iter().take(6) {

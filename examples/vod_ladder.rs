@@ -45,7 +45,9 @@ const LADDER: &[Rung] = &[
 ];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let video = std::env::args().nth(1).unwrap_or_else(|| "house".to_owned());
+    let video = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "house".to_owned());
     println!("preparing upload for '{video}'...");
     let transcoder = Transcoder::from_catalog(&video, 7)?;
     let opts = TranscodeOptions::default().with_sample_shift(1);
@@ -95,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.rungs.len(),
         total_seconds * 1e3
     );
-    println!("{:>5} {:>5} {:>10} {:>10} {:>9}", "crf", "refs", "kbps", "PSNR(dB)", "time(ms)");
+    println!(
+        "{:>5} {:>5} {:>10} {:>10} {:>9}",
+        "crf", "refs", "kbps", "PSNR(dB)", "time(ms)"
+    );
     for r in &plan.rungs {
         println!(
             "{:>5} {:>5} {:>10.1} {:>10.2} {:>9.2}",

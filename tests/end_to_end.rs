@@ -2,13 +2,13 @@
 //! → decode again, across crates, with profiling running throughout.
 
 use vtx_codec::{decode_video, encode_video, instr, EncoderConfig, Preset, RateControlMode};
-use vtx_frame::quality;
+use vtx_core::TranscodeOptions;
 use vtx_core::Transcoder;
+use vtx_frame::quality;
 use vtx_tests::{tiny_transcoder, tiny_video};
 use vtx_trace::layout::CodeLayout;
 use vtx_trace::Profiler;
 use vtx_uarch::config::UarchConfig;
-use vtx_core::TranscodeOptions;
 
 fn profiler() -> Profiler {
     let kernels = instr::kernel_table();
@@ -31,19 +31,22 @@ fn full_transcode_pipeline_reports_consistent_metrics() {
     assert!(r.psnr_db > 25.0, "psnr {}", r.psnr_db);
     assert!((r.summary.topdown.sum() - 1.0).abs() < 1e-9);
     // The profile must cover both decode and encode kernels.
-    let names: Vec<&str> = r
-        .profile
-        .hotspots
-        .iter()
-        .map(|(n, _)| n.as_str())
-        .collect();
+    let names: Vec<&str> = r.profile.hotspots.iter().map(|(n, _)| n.as_str()).collect();
     assert!(names.contains(&"dec_parse"), "decoder was profiled");
-    assert!(names.contains(&"sad") || names.contains(&"satd"), "encoder was profiled");
+    assert!(
+        names.contains(&"sad") || names.contains(&"satd"),
+        "encoder was profiled"
+    );
 }
 
 #[test]
 fn decoder_reproduces_encoder_reconstruction_for_every_preset_class() {
-    for preset in [Preset::Ultrafast, Preset::Veryfast, Preset::Medium, Preset::Slow] {
+    for preset in [
+        Preset::Ultrafast,
+        Preset::Veryfast,
+        Preset::Medium,
+        Preset::Slow,
+    ] {
         let v = tiny_video("game2", 6, 9);
         let mut p = profiler();
         let cfg = preset.config().with_crf(23.0).with_refs(2);
@@ -74,8 +77,8 @@ fn all_rate_control_modes_produce_decodable_streams() {
         let mut cfg = EncoderConfig::default();
         cfg.rc = mode;
         let enc = encode_video(&v, &cfg, &mut p).unwrap();
-        let dec = decode_video(&enc.bitstream, &mut p)
-            .unwrap_or_else(|e| panic!("{}: {e}", mode.name()));
+        let dec =
+            decode_video(&enc.bitstream, &mut p).unwrap_or_else(|e| panic!("{}: {e}", mode.name()));
         assert_eq!(dec.frames.len(), v.frames.len(), "{}", mode.name());
         let psnr = quality::sequence_psnr(&v.frames, &dec.frames).unwrap();
         assert!(psnr > 22.0, "{}: psnr {psnr}", mode.name());
@@ -124,16 +127,16 @@ fn modified_configs_do_not_slow_down_the_baseline_workload() {
         .transcode(&cfg, &TranscodeOptions::default())
         .unwrap()
         .seconds;
-    for u in [UarchConfig::fe_op(), UarchConfig::be_op2(), UarchConfig::bs_op()] {
+    for u in [
+        UarchConfig::fe_op(),
+        UarchConfig::be_op2(),
+        UarchConfig::bs_op(),
+    ] {
         let s = t
             .transcode(&cfg, &TranscodeOptions::on(u.clone()))
             .unwrap()
             .seconds;
-        assert!(
-            s <= base * 1.001,
-            "{} took {s} vs baseline {base}",
-            u.name
-        );
+        assert!(s <= base * 1.001, "{} took {s} vs baseline {base}", u.name);
     }
 }
 

@@ -154,6 +154,16 @@ pub struct EncoderConfig {
     pub cabac: bool,
     /// Maximum GOP length (forced I-frame interval).
     pub keyint: u16,
+    /// Worker threads for wavefront-parallel macroblock-row encoding.
+    /// `1` = serial (the default), `0` = one worker per available core,
+    /// `n` = at most `n` workers. The parallel path is bit-identical to
+    /// the serial one — bitstream and profiler counts do not change.
+    #[serde(default = "default_threads")]
+    pub threads: u32,
+}
+
+fn default_threads() -> u32 {
+    1
 }
 
 impl Default for EncoderConfig {
@@ -173,6 +183,7 @@ impl Default for EncoderConfig {
             partitions: PartitionSet::standard(),
             cabac: true,
             keyint: 250,
+            threads: default_threads(),
         }
     }
 }
@@ -188,6 +199,22 @@ impl EncoderConfig {
     pub fn with_refs(mut self, refs: u8) -> Self {
         self.refs = refs;
         self
+    }
+
+    /// Sets the wavefront worker-thread count (`0` = auto). Builder-style.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves `threads` to a concrete worker count: `0` maps to the
+    /// number of available cores, anything else is taken as-is.
+    pub fn effective_threads(&self) -> u32 {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get() as u32)
+        } else {
+            self.threads
+        }
     }
 
     /// Validates all parameter ranges.
@@ -238,6 +265,12 @@ impl EncoderConfig {
                 detail: format!("{} not in 0..=1", self.aq_mode),
             });
         }
+        if self.threads > 128 {
+            return Err(CodecError::InvalidConfig {
+                what: "threads",
+                detail: format!("{} not in 0..=128", self.threads),
+            });
+        }
         match self.rc {
             RateControlMode::Cqp(q) if q > 51 => Err(CodecError::InvalidConfig {
                 what: "qp",
@@ -284,9 +317,30 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let c = EncoderConfig::default().with_crf(35.0).with_refs(8);
+        let c = EncoderConfig::default()
+            .with_crf(35.0)
+            .with_refs(8)
+            .with_threads(4);
         assert_eq!(c.rc, RateControlMode::Crf(35.0));
         assert_eq!(c.refs, 8);
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(EncoderConfig::default().threads, 1);
+        assert_eq!(EncoderConfig::default().effective_threads(), 1);
+        assert_eq!(
+            EncoderConfig::default().with_threads(6).effective_threads(),
+            6
+        );
+        // Auto mode resolves to at least one worker.
+        assert!(EncoderConfig::default().with_threads(0).effective_threads() >= 1);
+        assert!(EncoderConfig::default()
+            .with_threads(129)
+            .validate()
+            .is_err());
+        EncoderConfig::default().with_threads(0).validate().unwrap();
     }
 
     #[test]

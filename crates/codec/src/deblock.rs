@@ -5,6 +5,11 @@
 //! the encoder and the decoder run this identically, so reconstruction stays
 //! bit-exact across the pair. The filter thresholds derive from QP plus the
 //! configured alpha/beta offsets (x264's `deblock a:b`).
+//!
+//! Deblocking runs serially after the macroblock wavefront has been
+//! stitched — it reads across macroblock boundaries in both directions, so
+//! it cannot join the wavefront without a second dependency front, and as
+//! a single frame-sized pass it is cheap relative to macroblock encoding.
 
 use vtx_frame::{Frame, Plane};
 use vtx_trace::Profiler;

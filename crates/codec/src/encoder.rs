@@ -30,6 +30,10 @@ use crate::ratecontrol::RateControl;
 use crate::transform::{dct4x4, idct4x4, sad, Block4x4};
 use crate::trellis::trellis_quant;
 use crate::types::{ue_len, FrameType, MotionVector, Qp};
+use crate::wavefront::{
+    wavefront_workers, DirectSink, FrameShared, MbClass, MbCounts, MbRecord, MbSink, PoisonGuard,
+    RecordSink, WfShared,
+};
 use crate::CodecError;
 
 /// Magic bytes opening every vtx bitstream.
@@ -399,6 +403,29 @@ enum MbMode {
     I4,
 }
 
+/// Immutable per-frame context shared by every macroblock encode — and, in
+/// the wavefront path, by every worker thread.
+struct FrameCtx<'a> {
+    cfg: &'a EncoderConfig,
+    bufs: &'a CodecBufs,
+    anchors: &'a [Anchor],
+    src: &'a Frame,
+    list0: Vec<usize>,
+    list1: Vec<usize>,
+    mb_w: usize,
+    display: usize,
+    ftype: FrameType,
+    base_qp: Qp,
+    avg_var: f64,
+    lambda: f64,
+    me_params: MeParams,
+    mbs_total: u32,
+    cur_slot: usize,
+    /// First profiler sampling-unit index of this frame; units advance one
+    /// per macroblock in raster order, exactly as in the serial encoder.
+    unit_base: u64,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn encode_frame<W: EntropyWriter>(
     st: &mut EncoderState<'_>,
@@ -415,7 +442,6 @@ fn encode_frame<W: EntropyWriter>(
     let src = &video.frames[display];
     let width = src.width();
     let height = src.height();
-    let mut recon = Frame::new(width, height);
     let (list0, list1) = ref_lists(&st.anchors, display, cfg.refs);
     let mbs_total = (st.mb_w * st.mb_h) as u32;
 
@@ -437,352 +463,74 @@ fn encode_frame<W: EntropyWriter>(
         1.0
     };
 
-    let mut mvs = vec![MotionVector::ZERO; st.mb_w * st.mb_h];
-    let mut intra_map = vec![false; st.mb_w * st.mb_h];
-    let mut prev_qp = base_qp;
     let lambda = base_qp.lambda();
-    let me_params = MeParams {
-        method: cfg.me,
-        merange: i32::from(cfg.merange),
-        subme: cfg.subme,
+    let fc = FrameCtx {
+        cfg,
+        bufs: &st.bufs,
+        anchors: &st.anchors,
+        src,
+        list0,
+        list1,
+        mb_w: st.mb_w,
+        display,
+        ftype,
+        base_qp,
+        avg_var,
         lambda,
+        me_params: MeParams {
+            method: cfg.me,
+            merange: i32::from(cfg.merange),
+            subme: cfg.subme,
+            lambda,
+        },
+        mbs_total,
+        cur_slot: st.next_slot % st.bufs.ref_pool.len(),
+        unit_base: st.global_mb,
     };
 
-    let cur_slot = st.next_slot % st.bufs.ref_pool.len();
+    // CBR corrects the quantizer per MB against bits actually written so
+    // far — an inherently serial feedback loop — so it stays on the serial
+    // path; every other mode can go wavefront without changing a bit.
+    let per_mb_feedback = matches!(rc.mode(), RateControlMode::Cbr { .. });
+    let workers = wavefront_workers(cfg, st.mb_w, st.mb_h, per_mb_feedback);
 
-    for mb_y in 0..st.mb_h {
-        for mb_x in 0..st.mb_w {
-            let mb_i = mb_y * st.mb_w + mb_x;
-            prof.begin_unit(st.global_mb);
-            st.global_mb += 1;
-            prof.kernel(K_MBENC, 1, 180, 6);
-
-            let src_y = extract_luma(src, mb_x, mb_y);
-            let src_u = extract_chroma(src, 0, mb_x, mb_y);
-            let src_v = extract_chroma(src, 1, mb_x, mb_y);
-            for row in 0..16 {
-                prof.load(st.bufs.src_luma_row(display, mb_y * 16 + row) + (mb_x * 16) as u64);
+    let (counts, mut recon) = if workers <= 1 {
+        let mut fs = FrameShared {
+            recon: Frame::new(width, height),
+            mvs: vec![MotionVector::ZERO; st.mb_w * st.mb_h],
+            intra_map: vec![false; st.mb_w * st.mb_h],
+        };
+        let mut counts = MbCounts::default();
+        let mut sink = DirectSink::new(&mut w, base_qp);
+        for mb_y in 0..st.mb_h {
+            for mb_x in 0..st.mb_w {
+                let class = encode_mb(
+                    &fc,
+                    &mut fs.recon,
+                    &mut fs.mvs,
+                    &mut fs.intra_map,
+                    rc,
+                    mb_x,
+                    mb_y,
+                    &mut sink,
+                    prof,
+                );
+                counts.add(class);
+                // Output-stream store pressure: one line per ~64 coded bits.
+                prof.store(fc.bufs.bitstream + (sink.bits_estimate() as u64) / 8);
             }
-
-            // Per-MB QP: adaptive quantization + CBR feedback.
-            let mut qp = base_qp;
-            if cfg.aq_mode == 1 {
-                let var =
-                    src.y()
-                        .block_variance((mb_x * 16) as isize, (mb_y * 16) as isize, 16, 16);
-                qp = Qp::new(i32::from(qp.value()) + aq_offset(var, avg_var));
-            }
-            qp = rc.mb_qp_adjust(qp, mb_i as u32, mbs_total, w.bits_estimate());
-
-            let pred_mv = mv_predictor(&mvs, &intra_map, st.mb_w, mb_x, mb_y);
-            let x = mb_x * 16;
-            let y = mb_y * 16;
-            // Quantization tables and entropy-coder contexts are resident data.
-            prof.load(st.bufs.tables + u64::from(qp.value()) * 64);
-            prof.load(st.bufs.tables + 8192);
-
-            // --- Early skip check (before any motion search, like x264) ---
-            if ftype != FrameType::I && !list0.is_empty() {
-                let anchor = &st.anchors[list0[0]];
-                let mut pb = [0u8; 256];
-                mc_luma(anchor.frame.y(), pred_mv, x, y, 16, 16, &mut pb);
-                let m = sad(&src_y, &pb);
-                prof.kernel(K_SAD, 1, 64, 0);
-                let early = m < skip_threshold(qp);
-                prof.branch(7, early);
-                if early {
-                    st.stats.skip_mbs += 1;
-                    w.put_bit(ctx::SKIP, true);
-                    let anchor = &st.anchors[list0[0]];
-                    write_inter_recon(
-                        st,
-                        &mut recon,
-                        anchor,
-                        None,
-                        pred_mv,
-                        MotionVector::ZERO,
-                        0,
-                        mb_x,
-                        mb_y,
-                        cur_slot,
-                        prof,
-                    );
-                    mvs[mb_i] = pred_mv;
-                    intra_map[mb_i] = false;
-                    prof.store(st.bufs.bitstream + (w.bits_estimate() as u64) / 8);
-                    continue;
-                }
-            }
-
-            // --- Inter candidates ---
-            let mut inter: Option<(MbMode, u32, u32)> = None; // (mode, cost, metric_at_pred)
-            if ftype == FrameType::P && !list0.is_empty() {
-                let mut best: Option<(u8, MeResult)> = None;
-                for (ri, &ai) in list0.iter().enumerate() {
-                    let anchor = &st.anchors[ai];
-                    let rv = RefView {
-                        plane: anchor.frame.y(),
-                        vaddr: st.bufs.ref_pool[anchor.slot],
-                        scale: st.bufs.scale(),
-                    };
-                    let mut r = search_ref(&src_y, &rv, x, y, pred_mv, &me_params, prof);
-                    r.cost = r
-                        .cost
-                        .saturating_add((lambda * f64::from(ue_len(ri as u32))) as u32);
-                    let better = best.is_none_or(|(_, b)| r.cost < b.cost);
-                    prof.branch(9, better);
-                    if better {
-                        best = Some((ri as u8, r));
-                    }
-                    // Early ref termination, like x264.
-                    if best.is_some_and(|(_, b)| b.metric < 128) {
-                        break;
-                    }
-                }
-                if let Some((ref_idx, r)) = best {
-                    let mut mode = MbMode::P16 { ref_idx, mv: r.mv };
-                    let mut cost = r.cost;
-                    // P8x8 refinement.
-                    if cfg.partitions.p8x8 && r.metric > 500 {
-                        if let Some((m8, c8)) = try_p8x8(
-                            st,
-                            &src_y,
-                            &st.anchors[list0[ref_idx as usize]],
-                            x,
-                            y,
-                            r.mv,
-                            ref_idx,
-                            lambda,
-                            cfg,
-                            prof,
-                        ) {
-                            prof.branch(10, c8 < cost);
-                            if c8 < cost {
-                                mode = m8;
-                                cost = c8;
-                            }
-                        }
-                    }
-                    inter = Some((mode, cost, r.metric));
-                }
-            } else if ftype == FrameType::B && !list0.is_empty() && !list1.is_empty() {
-                let fa = &st.anchors[list0[0]];
-                let ba = &st.anchors[list1[0]];
-                let fv = RefView {
-                    plane: fa.frame.y(),
-                    vaddr: st.bufs.ref_pool[fa.slot],
-                    scale: st.bufs.scale(),
-                };
-                let bv = RefView {
-                    plane: ba.frame.y(),
-                    vaddr: st.bufs.ref_pool[ba.slot],
-                    scale: st.bufs.scale(),
-                };
-                let rf = search_ref(&src_y, &fv, x, y, pred_mv, &me_params, prof);
-                let rb = search_ref(&src_y, &bv, x, y, MotionVector::ZERO, &me_params, prof);
-                // Bi-prediction: average both.
-                let mut pf = [0u8; 256];
-                let mut pb = [0u8; 256];
-                mc_luma(fa.frame.y(), rf.mv, x, y, 16, 16, &mut pf);
-                mc_luma(ba.frame.y(), rb.mv, x, y, 16, 16, &mut pb);
-                let mut bi = [0u8; 256];
-                average(&pf, &pb, &mut bi);
-                let bi_metric = sad(&src_y, &bi);
-                prof.kernel(K_SAD, 1, 64, 0);
-                let bi_bits = rf.mv.cost_bits(pred_mv) + rb.mv.cost_bits(MotionVector::ZERO);
-                let bi_cost = bi_metric.saturating_add((lambda * f64::from(bi_bits)) as u32);
-                let (dir, cost, metric) = if rf.cost <= rb.cost && rf.cost <= bi_cost {
-                    (0u8, rf.cost, rf.metric)
-                } else if rb.cost <= bi_cost {
-                    (1u8, rb.cost, rb.metric)
-                } else {
-                    (2u8, bi_cost, bi_metric)
-                };
-                prof.branch(11, dir == 2);
-                inter = Some((
-                    MbMode::B16 {
-                        dir,
-                        fwd: rf.mv,
-                        bwd: rb.mv,
-                    },
-                    cost,
-                    metric,
-                ));
-            }
-
-            // --- Intra candidates ---
-            let (i16_mode, i16_pred, i16_cost) = decide16(&src_y, recon.y(), x, y);
-            prof.kernel(K_IPRED16, 4, 300, 8);
-            prof.kernel(K_SATD, 64, 40, 0);
-            prof.kernel(K_IDECIDE, 1, 120, 4);
-            let i16_total = i16_cost + (lambda * 4.0) as u32;
-            let i4_enabled = cfg.partitions.i4x4 || cfg.partitions.i8x8;
-            let i4_cost_approx = if i4_enabled {
-                approx_i4_cost(&src_y, prof) + (lambda * 40.0) as u32
-            } else {
-                u32::MAX
-            };
-
-            // --- Mode choice ---
-            let intra_cost = i16_total.min(i4_cost_approx);
-            let mode = match inter {
-                Some((m, cost, _metric)) => {
-                    if intra_cost < cost {
-                        prof.branch(8, true);
-                        if i4_cost_approx < i16_total {
-                            MbMode::I4
-                        } else {
-                            MbMode::I16
-                        }
-                    } else {
-                        prof.branch(8, false);
-                        m
-                    }
-                }
-                None => {
-                    if i4_enabled && i4_cost_approx < i16_total {
-                        MbMode::I4
-                    } else {
-                        MbMode::I16
-                    }
-                }
-            };
-
-            // --- Syntax + reconstruction ---
-            if ftype != FrameType::I {
-                w.put_bit(ctx::SKIP, false);
-            }
-
-            match mode {
-                MbMode::P16 { ref_idx, mv } => {
-                    st.stats.inter_mbs += 1;
-                    w.put_ue(ctx::MB_MODE, 0);
-                    if cfg.refs > 1 {
-                        w.put_ue(ctx::REF_IDX, u32::from(ref_idx));
-                    }
-                    w.put_se(ctx::MVD_X, i32::from(mv.x) - i32::from(pred_mv.x));
-                    w.put_se(ctx::MVD_Y, i32::from(mv.y) - i32::from(pred_mv.y));
-                    write_qp_delta(&mut w, qp, &mut prev_qp);
-                    let anchor = &st.anchors[list0[usize::from(ref_idx)]];
-                    inter_residual(
-                        st,
-                        &mut w,
-                        &mut recon,
-                        anchor,
-                        None,
-                        mv,
-                        MotionVector::ZERO,
-                        0,
-                        &src_y,
-                        &src_u,
-                        &src_v,
-                        qp,
-                        mb_x,
-                        mb_y,
-                        cur_slot,
-                        prof,
-                    );
-                    mvs[mb_i] = mv;
-                    intra_map[mb_i] = false;
-                }
-                MbMode::P8 { ref_idx, mvs: sub } => {
-                    st.stats.inter_mbs += 1;
-                    w.put_ue(ctx::MB_MODE, 1);
-                    if cfg.refs > 1 {
-                        w.put_ue(ctx::REF_IDX, u32::from(ref_idx));
-                    }
-                    for mv in &sub {
-                        w.put_se(ctx::MVD_X, i32::from(mv.x) - i32::from(pred_mv.x));
-                        w.put_se(ctx::MVD_Y, i32::from(mv.y) - i32::from(pred_mv.y));
-                    }
-                    write_qp_delta(&mut w, qp, &mut prev_qp);
-                    let anchor = &st.anchors[list0[usize::from(ref_idx)]];
-                    p8_residual(
-                        st, &mut w, &mut recon, anchor, sub, &src_y, &src_u, &src_v, qp, mb_x,
-                        mb_y, cur_slot, prof,
-                    );
-                    mvs[mb_i] = sub[3];
-                    intra_map[mb_i] = false;
-                }
-                MbMode::B16 { dir, fwd, bwd } => {
-                    st.stats.inter_mbs += 1;
-                    w.put_ue(ctx::MB_MODE, 0);
-                    w.put_ue(ctx::MB_MODE + 4, u32::from(dir));
-                    if dir != 1 {
-                        w.put_se(ctx::MVD_X, i32::from(fwd.x) - i32::from(pred_mv.x));
-                        w.put_se(ctx::MVD_Y, i32::from(fwd.y) - i32::from(pred_mv.y));
-                    }
-                    if dir != 0 {
-                        w.put_se(ctx::MVD_X, i32::from(bwd.x));
-                        w.put_se(ctx::MVD_Y, i32::from(bwd.y));
-                    }
-                    write_qp_delta(&mut w, qp, &mut prev_qp);
-                    let fa = &st.anchors[list0[0]];
-                    let ba = &st.anchors[list1[0]];
-                    inter_residual(
-                        st,
-                        &mut w,
-                        &mut recon,
-                        fa,
-                        Some(ba),
-                        fwd,
-                        bwd,
-                        dir,
-                        &src_y,
-                        &src_u,
-                        &src_v,
-                        qp,
-                        mb_x,
-                        mb_y,
-                        cur_slot,
-                        prof,
-                    );
-                    mvs[mb_i] = if dir == 1 { MotionVector::ZERO } else { fwd };
-                    intra_map[mb_i] = false;
-                }
-                MbMode::I16 => {
-                    st.stats.intra_mbs += 1;
-                    let mode_idx = if ftype == FrameType::I {
-                        0
-                    } else if ftype == FrameType::P {
-                        2
-                    } else {
-                        1
-                    };
-                    w.put_ue(ctx::MB_MODE, mode_idx);
-                    w.put_ue(ctx::IPRED, i16_mode.index());
-                    write_qp_delta(&mut w, qp, &mut prev_qp);
-                    intra16_residual(
-                        st, &mut w, &mut recon, &i16_pred, &src_y, &src_u, &src_v, qp, mb_x, mb_y,
-                        cur_slot, prof,
-                    );
-                    mvs[mb_i] = MotionVector::ZERO;
-                    intra_map[mb_i] = true;
-                }
-                MbMode::I4 => {
-                    st.stats.intra_mbs += 1;
-                    let mode_idx = if ftype == FrameType::I {
-                        1
-                    } else if ftype == FrameType::P {
-                        3
-                    } else {
-                        2
-                    };
-                    w.put_ue(ctx::MB_MODE, mode_idx);
-                    write_qp_delta(&mut w, qp, &mut prev_qp);
-                    intra4_encode(
-                        st, &mut w, &mut recon, &src_y, &src_u, &src_v, qp, mb_x, mb_y, cur_slot,
-                        prof,
-                    );
-                    mvs[mb_i] = MotionVector::ZERO;
-                    intra_map[mb_i] = true;
-                }
-            }
-
-            // Output-stream store pressure: one line per ~64 coded bits.
-            prof.store(st.bufs.bitstream + (w.bits_estimate() as u64) / 8);
         }
-    }
+        (counts, fs.recon)
+    } else {
+        let (counts, fs) =
+            encode_frame_wavefront(&fc, st.mb_h, workers, rc, &mut w, prof, width, height);
+        (counts, fs.recon)
+    };
+
+    st.global_mb += u64::from(mbs_total);
+    st.stats.skip_mbs += counts.skip;
+    st.stats.intra_mbs += counts.intra;
+    st.stats.inter_mbs += counts.inter;
 
     if let Some(offsets) = cfg.deblock {
         // Deblocking is per frame, not per macroblock: gate it on its own
@@ -795,7 +543,7 @@ fn encode_frame<W: EntropyWriter>(
             offsets,
             prof,
             K_DEBLOCK,
-            st.bufs.ref_pool[cur_slot],
+            st.bufs.ref_pool[fc.cur_slot],
             st.bufs.scale(),
         );
     }
@@ -803,12 +551,439 @@ fn encode_frame<W: EntropyWriter>(
     Ok((w.finish(), recon, base_qp))
 }
 
-fn write_qp_delta<W: EntropyWriter>(w: &mut W, qp: Qp, prev: &mut Qp) {
-    w.put_se(
-        ctx::QP_DELTA,
-        i32::from(qp.value()) - i32::from(prev.value()),
-    );
-    *prev = qp;
+/// Wavefront-parallel frame encode. Workers claim macroblock rows under
+/// the 2D dependency (row `r` may start column `x` once row `r - 1` has
+/// published column `x + 1`) and record each macroblock's syntax and
+/// profiler traffic; the main thread stitches the records in raster order
+/// into the real entropy writer and profiler *while the wavefront is still
+/// running*, so frame latency is the slower of the two, not their sum.
+/// Output — bitstream, reconstruction and every simulated counter — is
+/// bit-identical to the serial path.
+#[allow(clippy::too_many_arguments)]
+fn encode_frame_wavefront<W: EntropyWriter>(
+    fc: &FrameCtx<'_>,
+    mb_h: usize,
+    workers: usize,
+    rc: &RateControl,
+    w: &mut W,
+    prof: &mut Profiler,
+    width: usize,
+    height: usize,
+) -> (MbCounts, FrameShared) {
+    let wf = WfShared::new(Frame::new(width, height), fc.mb_w, mb_h);
+    let shards: Vec<Profiler> = (0..workers).map(|_| prof.recording_shard()).collect();
+    let mut counts = MbCounts::default();
+
+    std::thread::scope(|s| {
+        for (wi, mut shard) in shards.into_iter().enumerate() {
+            let wf = &wf;
+            s.spawn(move || {
+                let _span = vtx_telemetry::Span::enter_with("wavefront/worker", |a| {
+                    a.u64("worker", wi as u64);
+                });
+                let guard = PoisonGuard::new(&wf.poisoned);
+                loop {
+                    let row = wf.claim_row();
+                    if row >= wf.mb_h {
+                        break;
+                    }
+                    for mb_x in 0..wf.mb_w {
+                        if row > 0 {
+                            wf.wait_row(row - 1, (mb_x + 2).min(wf.mb_w) as u32);
+                        }
+                        let mut sink = RecordSink::new();
+                        // SAFETY: wavefront discipline — this worker owns
+                        // `row`, and the wait above ordered it after the
+                        // publishes of every neighbour it reads.
+                        let fs = unsafe { wf.frame_mut() };
+                        let class = encode_mb(
+                            fc,
+                            &mut fs.recon,
+                            &mut fs.mvs,
+                            &mut fs.intra_map,
+                            rc,
+                            mb_x,
+                            row,
+                            &mut sink,
+                            &mut shard,
+                        );
+                        wf.publish(
+                            row,
+                            mb_x,
+                            MbRecord {
+                                class,
+                                syn: sink.into_cmds(),
+                                events: shard.take_events(),
+                            },
+                        );
+                    }
+                }
+                guard.disarm();
+            });
+        }
+
+        // Stitch concurrently, in raster order: replay profiler events into
+        // the real simulation and syntax into the real entropy writer.
+        let mut sink = DirectSink::new(w, fc.base_qp);
+        for mb_y in 0..mb_h {
+            for mb_x in 0..fc.mb_w {
+                wf.wait_row(mb_y, mb_x as u32 + 1);
+                let rec = wf.take_record(mb_y, mb_x);
+                prof.replay(&rec.events);
+                rec.replay_syntax(&mut sink);
+                counts.add(rec.class);
+                // Output-stream store pressure, as in the serial path.
+                prof.store(fc.bufs.bitstream + (sink.bits_estimate() as u64) / 8);
+            }
+        }
+    });
+
+    (counts, wf.into_inner())
+}
+
+/// Encodes one macroblock: mode decision, syntax (into the sink) and
+/// reconstruction. Returns the macroblock's classification. The caller
+/// charges the trailing output-stream store — it depends on the total bits
+/// written so far, which in the wavefront path only the stitcher knows.
+#[allow(clippy::too_many_arguments)]
+fn encode_mb<S: MbSink>(
+    fc: &FrameCtx<'_>,
+    recon: &mut Frame,
+    mvs: &mut [MotionVector],
+    intra_map: &mut [bool],
+    rc: &RateControl,
+    mb_x: usize,
+    mb_y: usize,
+    w: &mut S,
+    prof: &mut Profiler,
+) -> MbClass {
+    let cfg = fc.cfg;
+    let src = fc.src;
+    let ftype = fc.ftype;
+    let list0 = &fc.list0;
+    let list1 = &fc.list1;
+    let lambda = fc.lambda;
+    let cur_slot = fc.cur_slot;
+    let mb_i = mb_y * fc.mb_w + mb_x;
+    prof.begin_unit(fc.unit_base + mb_i as u64);
+    prof.kernel(K_MBENC, 1, 180, 6);
+
+    let src_y = extract_luma(src, mb_x, mb_y);
+    let src_u = extract_chroma(src, 0, mb_x, mb_y);
+    let src_v = extract_chroma(src, 1, mb_x, mb_y);
+    for row in 0..16 {
+        prof.load(fc.bufs.src_luma_row(fc.display, mb_y * 16 + row) + (mb_x * 16) as u64);
+    }
+
+    // Per-MB QP: adaptive quantization + CBR feedback.
+    let mut qp = fc.base_qp;
+    if cfg.aq_mode == 1 {
+        let var = src
+            .y()
+            .block_variance((mb_x * 16) as isize, (mb_y * 16) as isize, 16, 16);
+        qp = Qp::new(i32::from(qp.value()) + aq_offset(var, fc.avg_var));
+    }
+    qp = rc.mb_qp_adjust(qp, mb_i as u32, fc.mbs_total, w.bits_estimate());
+
+    let pred_mv = mv_predictor(mvs, intra_map, fc.mb_w, mb_x, mb_y);
+    let x = mb_x * 16;
+    let y = mb_y * 16;
+    // Quantization tables and entropy-coder contexts are resident data.
+    prof.load(fc.bufs.tables + u64::from(qp.value()) * 64);
+    prof.load(fc.bufs.tables + 8192);
+
+    // --- Early skip check (before any motion search, like x264) ---
+    if ftype != FrameType::I && !list0.is_empty() {
+        let anchor = &fc.anchors[list0[0]];
+        let mut pb = [0u8; 256];
+        mc_luma(anchor.frame.y(), pred_mv, x, y, 16, 16, &mut pb);
+        let m = sad(&src_y, &pb);
+        prof.kernel(K_SAD, 1, 64, 0);
+        let early = m < skip_threshold(qp);
+        prof.branch(7, early);
+        if early {
+            w.put_bit(ctx::SKIP, true);
+            let anchor = &fc.anchors[list0[0]];
+            write_inter_recon(
+                fc,
+                recon,
+                anchor,
+                None,
+                pred_mv,
+                MotionVector::ZERO,
+                0,
+                mb_x,
+                mb_y,
+                cur_slot,
+                prof,
+            );
+            mvs[mb_i] = pred_mv;
+            intra_map[mb_i] = false;
+            return MbClass::Skip;
+        }
+    }
+
+    // --- Inter candidates ---
+    let mut inter: Option<(MbMode, u32, u32)> = None; // (mode, cost, metric_at_pred)
+    if ftype == FrameType::P && !list0.is_empty() {
+        let mut best: Option<(u8, MeResult)> = None;
+        for (ri, &ai) in list0.iter().enumerate() {
+            let anchor = &fc.anchors[ai];
+            let rv = RefView {
+                plane: anchor.frame.y(),
+                vaddr: fc.bufs.ref_pool[anchor.slot],
+                scale: fc.bufs.scale(),
+            };
+            let mut r = search_ref(&src_y, &rv, x, y, pred_mv, &fc.me_params, prof);
+            r.cost = r
+                .cost
+                .saturating_add((lambda * f64::from(ue_len(ri as u32))) as u32);
+            let better = best.is_none_or(|(_, b)| r.cost < b.cost);
+            prof.branch(9, better);
+            if better {
+                best = Some((ri as u8, r));
+            }
+            // Early ref termination, like x264.
+            if best.is_some_and(|(_, b)| b.metric < 128) {
+                break;
+            }
+        }
+        if let Some((ref_idx, r)) = best {
+            let mut mode = MbMode::P16 { ref_idx, mv: r.mv };
+            let mut cost = r.cost;
+            // P8x8 refinement.
+            if cfg.partitions.p8x8 && r.metric > 500 {
+                if let Some((m8, c8)) = try_p8x8(
+                    fc,
+                    &src_y,
+                    &fc.anchors[list0[ref_idx as usize]],
+                    x,
+                    y,
+                    r.mv,
+                    ref_idx,
+                    lambda,
+                    cfg,
+                    prof,
+                ) {
+                    prof.branch(10, c8 < cost);
+                    if c8 < cost {
+                        mode = m8;
+                        cost = c8;
+                    }
+                }
+            }
+            inter = Some((mode, cost, r.metric));
+        }
+    } else if ftype == FrameType::B && !list0.is_empty() && !list1.is_empty() {
+        let fa = &fc.anchors[list0[0]];
+        let ba = &fc.anchors[list1[0]];
+        let fv = RefView {
+            plane: fa.frame.y(),
+            vaddr: fc.bufs.ref_pool[fa.slot],
+            scale: fc.bufs.scale(),
+        };
+        let bv = RefView {
+            plane: ba.frame.y(),
+            vaddr: fc.bufs.ref_pool[ba.slot],
+            scale: fc.bufs.scale(),
+        };
+        let rf = search_ref(&src_y, &fv, x, y, pred_mv, &fc.me_params, prof);
+        let rb = search_ref(&src_y, &bv, x, y, MotionVector::ZERO, &fc.me_params, prof);
+        // Bi-prediction: average both.
+        let mut pf = [0u8; 256];
+        let mut pb = [0u8; 256];
+        mc_luma(fa.frame.y(), rf.mv, x, y, 16, 16, &mut pf);
+        mc_luma(ba.frame.y(), rb.mv, x, y, 16, 16, &mut pb);
+        let mut bi = [0u8; 256];
+        average(&pf, &pb, &mut bi);
+        let bi_metric = sad(&src_y, &bi);
+        prof.kernel(K_SAD, 1, 64, 0);
+        let bi_bits = rf.mv.cost_bits(pred_mv) + rb.mv.cost_bits(MotionVector::ZERO);
+        let bi_cost = bi_metric.saturating_add((lambda * f64::from(bi_bits)) as u32);
+        let (dir, cost, metric) = if rf.cost <= rb.cost && rf.cost <= bi_cost {
+            (0u8, rf.cost, rf.metric)
+        } else if rb.cost <= bi_cost {
+            (1u8, rb.cost, rb.metric)
+        } else {
+            (2u8, bi_cost, bi_metric)
+        };
+        prof.branch(11, dir == 2);
+        inter = Some((
+            MbMode::B16 {
+                dir,
+                fwd: rf.mv,
+                bwd: rb.mv,
+            },
+            cost,
+            metric,
+        ));
+    }
+
+    // --- Intra candidates ---
+    let (i16_mode, i16_pred, i16_cost) = decide16(&src_y, recon.y(), x, y);
+    prof.kernel(K_IPRED16, 4, 300, 8);
+    prof.kernel(K_SATD, 64, 40, 0);
+    prof.kernel(K_IDECIDE, 1, 120, 4);
+    let i16_total = i16_cost + (lambda * 4.0) as u32;
+    let i4_enabled = cfg.partitions.i4x4 || cfg.partitions.i8x8;
+    let i4_cost_approx = if i4_enabled {
+        approx_i4_cost(&src_y, prof) + (lambda * 40.0) as u32
+    } else {
+        u32::MAX
+    };
+
+    // --- Mode choice ---
+    let intra_cost = i16_total.min(i4_cost_approx);
+    let mode = match inter {
+        Some((m, cost, _metric)) => {
+            if intra_cost < cost {
+                prof.branch(8, true);
+                if i4_cost_approx < i16_total {
+                    MbMode::I4
+                } else {
+                    MbMode::I16
+                }
+            } else {
+                prof.branch(8, false);
+                m
+            }
+        }
+        None => {
+            if i4_enabled && i4_cost_approx < i16_total {
+                MbMode::I4
+            } else {
+                MbMode::I16
+            }
+        }
+    };
+
+    // --- Syntax + reconstruction ---
+    if ftype != FrameType::I {
+        w.put_bit(ctx::SKIP, false);
+    }
+
+    match mode {
+        MbMode::P16 { ref_idx, mv } => {
+            w.put_ue(ctx::MB_MODE, 0);
+            if cfg.refs > 1 {
+                w.put_ue(ctx::REF_IDX, u32::from(ref_idx));
+            }
+            w.put_se(ctx::MVD_X, i32::from(mv.x) - i32::from(pred_mv.x));
+            w.put_se(ctx::MVD_Y, i32::from(mv.y) - i32::from(pred_mv.y));
+            w.qp_delta(qp);
+            let anchor = &fc.anchors[list0[usize::from(ref_idx)]];
+            inter_residual(
+                fc,
+                w,
+                recon,
+                anchor,
+                None,
+                mv,
+                MotionVector::ZERO,
+                0,
+                &src_y,
+                &src_u,
+                &src_v,
+                qp,
+                mb_x,
+                mb_y,
+                cur_slot,
+                prof,
+            );
+            mvs[mb_i] = mv;
+            intra_map[mb_i] = false;
+            MbClass::Inter
+        }
+        MbMode::P8 { ref_idx, mvs: sub } => {
+            w.put_ue(ctx::MB_MODE, 1);
+            if cfg.refs > 1 {
+                w.put_ue(ctx::REF_IDX, u32::from(ref_idx));
+            }
+            for mv in &sub {
+                w.put_se(ctx::MVD_X, i32::from(mv.x) - i32::from(pred_mv.x));
+                w.put_se(ctx::MVD_Y, i32::from(mv.y) - i32::from(pred_mv.y));
+            }
+            w.qp_delta(qp);
+            let anchor = &fc.anchors[list0[usize::from(ref_idx)]];
+            p8_residual(
+                fc, w, recon, anchor, sub, &src_y, &src_u, &src_v, qp, mb_x, mb_y, cur_slot, prof,
+            );
+            mvs[mb_i] = sub[3];
+            intra_map[mb_i] = false;
+            MbClass::Inter
+        }
+        MbMode::B16 { dir, fwd, bwd } => {
+            w.put_ue(ctx::MB_MODE, 0);
+            w.put_ue(ctx::MB_MODE + 4, u32::from(dir));
+            if dir != 1 {
+                w.put_se(ctx::MVD_X, i32::from(fwd.x) - i32::from(pred_mv.x));
+                w.put_se(ctx::MVD_Y, i32::from(fwd.y) - i32::from(pred_mv.y));
+            }
+            if dir != 0 {
+                w.put_se(ctx::MVD_X, i32::from(bwd.x));
+                w.put_se(ctx::MVD_Y, i32::from(bwd.y));
+            }
+            w.qp_delta(qp);
+            let fa = &fc.anchors[list0[0]];
+            let ba = &fc.anchors[list1[0]];
+            inter_residual(
+                fc,
+                w,
+                recon,
+                fa,
+                Some(ba),
+                fwd,
+                bwd,
+                dir,
+                &src_y,
+                &src_u,
+                &src_v,
+                qp,
+                mb_x,
+                mb_y,
+                cur_slot,
+                prof,
+            );
+            mvs[mb_i] = if dir == 1 { MotionVector::ZERO } else { fwd };
+            intra_map[mb_i] = false;
+            MbClass::Inter
+        }
+        MbMode::I16 => {
+            let mode_idx = if ftype == FrameType::I {
+                0
+            } else if ftype == FrameType::P {
+                2
+            } else {
+                1
+            };
+            w.put_ue(ctx::MB_MODE, mode_idx);
+            w.put_ue(ctx::IPRED, i16_mode.index());
+            w.qp_delta(qp);
+            intra16_residual(
+                fc, w, recon, &i16_pred, &src_y, &src_u, &src_v, qp, mb_x, mb_y, cur_slot, prof,
+            );
+            mvs[mb_i] = MotionVector::ZERO;
+            intra_map[mb_i] = true;
+            MbClass::Intra
+        }
+        MbMode::I4 => {
+            let mode_idx = if ftype == FrameType::I {
+                1
+            } else if ftype == FrameType::P {
+                3
+            } else {
+                2
+            };
+            w.put_ue(ctx::MB_MODE, mode_idx);
+            w.qp_delta(qp);
+            intra4_encode(
+                fc, w, recon, &src_y, &src_u, &src_v, qp, mb_x, mb_y, cur_slot, prof,
+            );
+            mvs[mb_i] = MotionVector::ZERO;
+            intra_map[mb_i] = true;
+            MbClass::Intra
+        }
+    }
 }
 
 /// Cheap I4x4 cost approximation for mode decision: per 4x4 block, the best
@@ -857,7 +1032,7 @@ fn approx_i4_cost(src: &[u8; 256], prof: &mut Profiler) -> u32 {
 
 #[allow(clippy::too_many_arguments)]
 fn try_p8x8(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     src_y: &[u8; 256],
     anchor: &Anchor,
     x: usize,
@@ -899,7 +1074,7 @@ fn try_p8x8(
                     8,
                     &mut pred,
                 );
-                prof.load(st.bufs.ref_luma(anchor.slot, qx, qy));
+                prof.load(fc.bufs.ref_luma(anchor.slot, qx, qy));
                 cands += 1;
                 let mv = MotionVector::from_fullpel(mx as i16, my as i16);
                 let cost = sad(&blk, &pred)
@@ -928,7 +1103,7 @@ fn try_p8x8(
 /// events. `dir`: 0 = fwd only, 1 = bwd only, 2 = bi.
 #[allow(clippy::too_many_arguments)]
 fn build_inter_pred(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     fwd_anchor: &Anchor,
     bwd_anchor: Option<&Anchor>,
     fwd: MotionVector,
@@ -951,20 +1126,20 @@ fn build_inter_pred(
     let charge = |anchor: &Anchor, mv: MotionVector, prof: &mut Profiler| {
         let (fx, fy) = mv.fullpel();
         for row in 0..16i64 {
-            let ry = (mb_y as i64 * 16 + i64::from(fy) + row).clamp(0, st.bufs.height() as i64 - 1)
+            let ry = (mb_y as i64 * 16 + i64::from(fy) + row).clamp(0, fc.bufs.height() as i64 - 1)
                 as usize;
             let rx =
-                (mb_x as i64 * 16 + i64::from(fx)).clamp(0, st.bufs.width() as i64 - 1) as usize;
-            prof.load(st.bufs.ref_luma(anchor.slot, rx, ry));
+                (mb_x as i64 * 16 + i64::from(fx)).clamp(0, fc.bufs.width() as i64 - 1) as usize;
+            prof.load(fc.bufs.ref_luma(anchor.slot, rx, ry));
         }
         // Chroma planes are motion-compensated too (half the vector).
         for row in 0..8i64 {
             let ry = (mb_y as i64 * 8 + i64::from(fy / 2) + row)
-                .clamp(0, st.bufs.height() as i64 / 2 - 1) as usize;
-            let rx = (mb_x as i64 * 8 + i64::from(fx / 2)).clamp(0, st.bufs.width() as i64 / 2 - 1)
+                .clamp(0, fc.bufs.height() as i64 / 2 - 1) as usize;
+            let rx = (mb_x as i64 * 8 + i64::from(fx / 2)).clamp(0, fc.bufs.width() as i64 / 2 - 1)
                 as usize;
-            prof.load(st.bufs.ref_chroma(anchor.slot, 0, rx, ry));
-            prof.load(st.bufs.ref_chroma(anchor.slot, 1, rx, ry));
+            prof.load(fc.bufs.ref_chroma(anchor.slot, 0, rx, ry));
+            prof.load(fc.bufs.ref_chroma(anchor.slot, 1, rx, ry));
         }
     };
     if dir != 1 {
@@ -980,7 +1155,7 @@ fn build_inter_pred(
 /// Skip-mode reconstruction: prediction only, no residual.
 #[allow(clippy::too_many_arguments)]
 fn write_inter_recon(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     recon: &mut Frame,
     fwd_anchor: &Anchor,
     bwd_anchor: Option<&Anchor>,
@@ -993,13 +1168,13 @@ fn write_inter_recon(
     prof: &mut Profiler,
 ) {
     let (py, pu, pv) =
-        build_inter_pred(st, fwd_anchor, bwd_anchor, fwd, bwd, dir, mb_x, mb_y, prof);
-    commit_mb(st, recon, &py, &pu, &pv, mb_x, mb_y, prof, cur_slot);
+        build_inter_pred(fc, fwd_anchor, bwd_anchor, fwd, bwd, dir, mb_x, mb_y, prof);
+    commit_mb(fc, recon, &py, &pu, &pv, mb_x, mb_y, prof, cur_slot);
 }
 
 #[allow(clippy::too_many_arguments)]
 fn inter_residual<W: EntropyWriter>(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     w: &mut W,
     recon: &mut Frame,
     fwd_anchor: &Anchor,
@@ -1017,27 +1192,27 @@ fn inter_residual<W: EntropyWriter>(
     prof: &mut Profiler,
 ) {
     let (py, pu, pv) =
-        build_inter_pred(st, fwd_anchor, bwd_anchor, fwd, bwd, dir, mb_x, mb_y, prof);
-    let ek = if st.cfg.cabac { K_CABAC } else { K_CAVLC };
+        build_inter_pred(fc, fwd_anchor, bwd_anchor, fwd, bwd, dir, mb_x, mb_y, prof);
+    let ek = if fc.cfg.cabac { K_CABAC } else { K_CAVLC };
     let (ry, _nz) = encode_luma_residual(
         src_y,
         &py,
         qp,
         false,
-        st.cfg.trellis,
+        fc.cfg.trellis,
         w,
         prof,
-        st.bufs.scratch,
+        fc.bufs.scratch,
         ek,
     );
-    let (ru, _) = encode_chroma_residual(src_u, &pu, qp, false, st.cfg.trellis, w, prof, ek);
-    let (rv, _) = encode_chroma_residual(src_v, &pv, qp, false, st.cfg.trellis, w, prof, ek);
-    commit_mb(st, recon, &ry, &ru, &rv, mb_x, mb_y, prof, cur_slot);
+    let (ru, _) = encode_chroma_residual(src_u, &pu, qp, false, fc.cfg.trellis, w, prof, ek);
+    let (rv, _) = encode_chroma_residual(src_v, &pv, qp, false, fc.cfg.trellis, w, prof, ek);
+    commit_mb(fc, recon, &ry, &ru, &rv, mb_x, mb_y, prof, cur_slot);
 }
 
 #[allow(clippy::too_many_arguments)]
 fn p8_residual<W: EntropyWriter>(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     w: &mut W,
     recon: &mut Frame,
     anchor: &Anchor,
@@ -1054,30 +1229,30 @@ fn p8_residual<W: EntropyWriter>(
     // Shared P8x8 prediction assembly (see mc::build_p8_pred).
     let (py, pu, pv) = crate::mc::build_p8_pred(&anchor.frame, &sub, mb_x, mb_y);
     for row in 0..16usize {
-        prof.load(st.bufs.ref_luma(anchor.slot, mb_x * 16, mb_y * 16 + row));
+        prof.load(fc.bufs.ref_luma(anchor.slot, mb_x * 16, mb_y * 16 + row));
     }
     prof.kernel(K_MC, 4, 180, 12);
 
-    let ek = if st.cfg.cabac { K_CABAC } else { K_CAVLC };
+    let ek = if fc.cfg.cabac { K_CABAC } else { K_CAVLC };
     let (ry, _) = encode_luma_residual(
         src_y,
         &py,
         qp,
         false,
-        st.cfg.trellis,
+        fc.cfg.trellis,
         w,
         prof,
-        st.bufs.scratch,
+        fc.bufs.scratch,
         ek,
     );
-    let (ru, _) = encode_chroma_residual(src_u, &pu, qp, false, st.cfg.trellis, w, prof, ek);
-    let (rv, _) = encode_chroma_residual(src_v, &pv, qp, false, st.cfg.trellis, w, prof, ek);
-    commit_mb(st, recon, &ry, &ru, &rv, mb_x, mb_y, prof, cur_slot);
+    let (ru, _) = encode_chroma_residual(src_u, &pu, qp, false, fc.cfg.trellis, w, prof, ek);
+    let (rv, _) = encode_chroma_residual(src_v, &pv, qp, false, fc.cfg.trellis, w, prof, ek);
+    commit_mb(fc, recon, &ry, &ru, &rv, mb_x, mb_y, prof, cur_slot);
 }
 
 #[allow(clippy::too_many_arguments)]
 fn intra16_residual<W: EntropyWriter>(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     w: &mut W,
     recon: &mut Frame,
     pred_y: &[u8; 256],
@@ -1092,21 +1267,21 @@ fn intra16_residual<W: EntropyWriter>(
 ) {
     let pu = predict_chroma_dc(recon.u(), mb_x * 8, mb_y * 8);
     let pv = predict_chroma_dc(recon.v(), mb_x * 8, mb_y * 8);
-    let ek = if st.cfg.cabac { K_CABAC } else { K_CAVLC };
+    let ek = if fc.cfg.cabac { K_CABAC } else { K_CAVLC };
     let (ry, _) = encode_luma_residual(
         src_y,
         pred_y,
         qp,
         true,
-        st.cfg.trellis,
+        fc.cfg.trellis,
         w,
         prof,
-        st.bufs.scratch,
+        fc.bufs.scratch,
         ek,
     );
-    let (ru, _) = encode_chroma_residual(src_u, &pu, qp, true, st.cfg.trellis, w, prof, ek);
-    let (rv, _) = encode_chroma_residual(src_v, &pv, qp, true, st.cfg.trellis, w, prof, ek);
-    commit_mb(st, recon, &ry, &ru, &rv, mb_x, mb_y, prof, cur_slot);
+    let (ru, _) = encode_chroma_residual(src_u, &pu, qp, true, fc.cfg.trellis, w, prof, ek);
+    let (rv, _) = encode_chroma_residual(src_v, &pv, qp, true, fc.cfg.trellis, w, prof, ek);
+    commit_mb(fc, recon, &ry, &ru, &rv, mb_x, mb_y, prof, cur_slot);
 }
 
 /// Encodes an I4x4 macroblock: per 4x4 block, choose a mode against the
@@ -1115,7 +1290,7 @@ fn intra16_residual<W: EntropyWriter>(
 /// this exactly.
 #[allow(clippy::too_many_arguments)]
 fn intra4_encode<W: EntropyWriter>(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     w: &mut W,
     recon: &mut Frame,
     src_y: &[u8; 256],
@@ -1161,14 +1336,14 @@ fn intra4_encode<W: EntropyWriter>(
                 res[i] = i32::from(blk_src[i]) - i32::from(best.1[i]);
             }
             dct4x4(&mut res);
-            let nz = if st.cfg.trellis > 0 {
-                let out = trellis_quant(&mut res, qp, true, qp.lambda(), st.cfg.trellis);
+            let nz = if fc.cfg.trellis > 0 {
+                let out = trellis_quant(&mut res, qp, true, qp.lambda(), fc.cfg.trellis);
                 crate::mbenc::emit_trellis_branches(prof, &out);
                 out.nonzero
             } else {
                 quant4x4(&mut res, qp, true)
             };
-            let ek = if st.cfg.cabac { K_CABAC } else { K_CAVLC };
+            let ek = if fc.cfg.cabac { K_CABAC } else { K_CAVLC };
             write_coef_block(w, &res, false, prof, ek);
             let mut out = best.1;
             if nz > 0 {
@@ -1188,20 +1363,20 @@ fn intra4_encode<W: EntropyWriter>(
     // Chroma: DC prediction as with I16x16.
     let pu = predict_chroma_dc(recon.u(), mb_x * 8, mb_y * 8);
     let pv = predict_chroma_dc(recon.v(), mb_x * 8, mb_y * 8);
-    let ek = if st.cfg.cabac { K_CABAC } else { K_CAVLC };
-    let (ru, _) = encode_chroma_residual(src_u, &pu, qp, true, st.cfg.trellis, w, prof, ek);
-    let (rv, _) = encode_chroma_residual(src_v, &pv, qp, true, st.cfg.trellis, w, prof, ek);
+    let ek = if fc.cfg.cabac { K_CABAC } else { K_CAVLC };
+    let (ru, _) = encode_chroma_residual(src_u, &pu, qp, true, fc.cfg.trellis, w, prof, ek);
+    let (rv, _) = encode_chroma_residual(src_v, &pv, qp, true, fc.cfg.trellis, w, prof, ek);
     recon.u_mut().write_block(mb_x * 8, mb_y * 8, 8, 8, &ru);
     recon.v_mut().write_block(mb_x * 8, mb_y * 8, 8, 8, &rv);
     // Luma was already committed block by block; charge the stores.
-    charge_mb_stores(st, mb_x, mb_y, prof, cur_slot);
+    charge_mb_stores(fc, mb_x, mb_y, prof, cur_slot);
 }
 
 /// Writes a completed MB into the reconstruction frame and charges the
 /// store traffic.
 #[allow(clippy::too_many_arguments)]
 fn commit_mb(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     recon: &mut Frame,
     ry: &[u8; 256],
     ru: &[u8; 64],
@@ -1214,18 +1389,18 @@ fn commit_mb(
     recon.y_mut().write_block(mb_x * 16, mb_y * 16, 16, 16, ry);
     recon.u_mut().write_block(mb_x * 8, mb_y * 8, 8, 8, ru);
     recon.v_mut().write_block(mb_x * 8, mb_y * 8, 8, 8, rv);
-    charge_mb_stores(st, mb_x, mb_y, prof, cur_slot);
+    charge_mb_stores(fc, mb_x, mb_y, prof, cur_slot);
 }
 
 fn charge_mb_stores(
-    st: &EncoderState<'_>,
+    fc: &FrameCtx<'_>,
     mb_x: usize,
     mb_y: usize,
     prof: &mut Profiler,
     cur_slot: usize,
 ) {
     for row in 0..16usize {
-        prof.store(st.bufs.ref_luma(cur_slot, mb_x * 16, mb_y * 16 + row));
+        prof.store(fc.bufs.ref_luma(cur_slot, mb_x * 16, mb_y * 16 + row));
     }
 }
 
@@ -1353,6 +1528,46 @@ mod tests {
         let mut p2 = prof();
         let b = encode_video(&v, &EncoderConfig::default(), &mut p2).unwrap();
         assert_eq!(a.bitstream, b.bitstream);
+    }
+
+    #[test]
+    fn wavefront_matches_serial() {
+        // The whole point of the wavefront design: threads must change
+        // nothing observable — bitstream, reconstruction, stats, and every
+        // simulated profiler counter.
+        let v = tiny_video("bike");
+        let mut p1 = prof();
+        let serial = encode_video(&v, &EncoderConfig::default(), &mut p1).unwrap();
+        let rep1 = p1.finish();
+
+        for threads in [2u32, 3] {
+            let mut pn = prof();
+            let cfg = EncoderConfig::default().with_threads(threads);
+            let par = encode_video(&v, &cfg, &mut pn).unwrap();
+            let repn = pn.finish();
+            assert_eq!(serial.bitstream, par.bitstream, "threads={threads}");
+            assert_eq!(serial.recon, par.recon, "threads={threads}");
+            assert_eq!(serial.stats, par.stats, "threads={threads}");
+            assert_eq!(rep1.counts, repn.counts, "threads={threads}");
+            assert_eq!(rep1.profile, repn.profile, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn wavefront_cbr_falls_back_to_serial() {
+        // CBR's per-MB bit feedback is serial by construction; threads
+        // must still produce the identical stream via the fallback.
+        let v = tiny_video("cricket");
+        let cfg = EncoderConfig {
+            rc: RateControlMode::Cbr { bitrate_kbps: 400 },
+            ..EncoderConfig::default()
+        };
+        let mut p1 = prof();
+        let serial = encode_video(&v, &cfg, &mut p1).unwrap();
+        let mut p4 = prof();
+        let par = encode_video(&v, &cfg.clone().with_threads(4), &mut p4).unwrap();
+        assert_eq!(serial.bitstream, par.bitstream);
+        assert_eq!(p1.finish().counts, p4.finish().counts);
     }
 
     #[test]

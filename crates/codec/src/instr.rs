@@ -5,6 +5,11 @@
 //! profiler lays these kernels out in a synthetic text section; instruction
 //! cache, iTLB and branch behaviour follow from that layout (see
 //! `vtx-trace`).
+//!
+//! The kernel table is identical under wavefront-parallel encoding: worker
+//! threads record the same kernel events a serial encode would emit and the
+//! stitcher replays them in raster order, so per-kernel instruction and
+//! cycle attribution does not depend on `EncoderConfig::threads`.
 
 use vtx_trace::KernelDesc;
 

@@ -48,6 +48,7 @@
 
 mod bufs;
 mod error;
+mod wavefront;
 
 pub mod config;
 pub mod deblock;

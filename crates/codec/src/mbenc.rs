@@ -6,6 +6,12 @@
 //! order its preceding zero-run (ue) and level (se). Encoder and decoder
 //! traverse blocks in identical raster order, so reconstruction is
 //! bit-exact.
+//!
+//! Every syntax element and profiler event emitted here is a pure function
+//! of the coefficient data — never of the entropy writer's internal state.
+//! That invariant is what lets wavefront workers record syntax against a
+//! stateless sink and replay it later through the real (stateful) writer
+//! with bit-identical results.
 
 use vtx_trace::Profiler;
 

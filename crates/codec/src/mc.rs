@@ -69,9 +69,13 @@ pub fn mc_chroma(
     bh: usize,
     out: &mut [u8],
 ) {
-    // Luma half-pel units -> chroma half-pel units = divide by 2 keeping
-    // one fractional bit.
-    let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+    // Luma half-pel units -> chroma half-pel units = halve keeping one
+    // fractional bit. Arithmetic shift, not `/ 2`: truncating division
+    // rounds negative vectors toward zero, which would bias the chroma
+    // prediction differently for leftward vs. rightward motion. `>> 1`
+    // rounds toward -inf for both signs (the H.264 convention), keeping
+    // chroma prediction mirror-symmetric.
+    let cmv = MotionVector::new(mv.x >> 1, mv.y >> 1);
     mc_luma(reference, cmv, cx, cy, bw, bh, out);
 }
 
@@ -162,6 +166,37 @@ mod tests {
         mc_chroma(&p, MotionVector::new(4, 0), 4, 4, 4, 4, &mut a);
         mc_luma(&p, MotionVector::from_fullpel(1, 0), 4, 4, 4, 4, &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chroma_rounding_is_sign_symmetric() {
+        // On a linear ramp, bilinear interpolation is exact, so the only
+        // error in the chroma prediction is the MV-halving quantization.
+        // An odd luma vector of +5 half-pels targets +1.25 chroma pels and
+        // -5 targets -1.25; rounding toward -inf under-shoots *both* by a
+        // quarter pel, so the prediction error must be identical for
+        // leftward and rightward motion. (Truncating division instead
+        // pulls both toward zero: -1 vs. +1 on this ramp.)
+        let mut p = Plane::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                p.set(x, y, (x * 4) as u8);
+            }
+        }
+        let mut out = [0u8; 16];
+
+        mc_chroma(&p, MotionVector::new(5, 0), 8, 8, 4, 4, &mut out);
+        // True target 8 + 1.25 = 9.25 pel -> value 37.
+        let err_right = i32::from(out[0]) - 37;
+
+        mc_chroma(&p, MotionVector::new(-5, 0), 8, 8, 4, 4, &mut out);
+        // True target 8 - 1.25 = 6.75 pel -> value 27.
+        let err_left = i32::from(out[0]) - 27;
+
+        assert_eq!(
+            err_right, err_left,
+            "chroma MV rounding must not depend on motion direction"
+        );
     }
 
     #[test]

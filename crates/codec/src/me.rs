@@ -78,9 +78,18 @@ fn sad_16x16_at(src: &[u8; 256], reference: &Plane, rx: isize, ry: isize, early_
         }
         acc
     } else {
+        // Clamped border path: same every-4-rows early termination as the
+        // interior path, so profiled SAD work does not depend on whether a
+        // candidate straddles the frame edge.
         let mut blk = [0u8; 256];
         reference.copy_block_clamped(rx, ry, 16, 16, &mut blk);
-        sad(src, &blk)
+        for row in 0..16 {
+            acc += sad(&src[row * 16..row * 16 + 16], &blk[row * 16..row * 16 + 16]);
+            if row % 4 == 3 && acc >= early_out {
+                return acc;
+            }
+        }
+        acc
     }
 }
 
@@ -618,5 +627,31 @@ mod tests {
     fn tesa_runs_and_finds_displacement() {
         let r = run(MeMethod::Tesa, 0);
         assert_eq!(r.mv, MotionVector::from_fullpel(8, 8));
+    }
+
+    #[test]
+    fn border_sad_honours_early_out() {
+        let (plane, src) = shifted_scene();
+        // rx = -4 straddles the left edge, forcing the clamped path.
+        let full = sad_16x16_at(&src, &plane, -4, 16, u32::MAX);
+        let mut blk = [0u8; 256];
+        plane.copy_block_clamped(-4, 16, 16, 16, &mut blk);
+        assert_eq!(full, sad(&src, &blk), "no early-out must give full SAD");
+        assert!(full > 0);
+
+        // A threshold the first 4 rows already exceed must terminate early:
+        // the partial accumulator is below the full SAD but at or above the
+        // threshold, exactly like the interior path.
+        let partial = sad_16x16_at(&src, &plane, -4, 16, 1);
+        assert!(partial >= 1);
+        assert!(
+            partial < full,
+            "partial {partial} should stop before full {full}"
+        );
+
+        let four_rows: u32 = (0..4)
+            .map(|row| sad(&src[row * 16..row * 16 + 16], &blk[row * 16..row * 16 + 16]))
+            .sum();
+        assert_eq!(partial, four_rows);
     }
 }

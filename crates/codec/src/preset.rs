@@ -145,6 +145,13 @@ impl Preset {
         }
         c
     }
+
+    /// Like [`Preset::config`], with wavefront worker threads on top
+    /// (`0` = auto). Threading never changes the bitstream or profiler
+    /// counts, so presets stay comparable at any thread count.
+    pub fn config_threaded(self, threads: u32) -> EncoderConfig {
+        self.config().with_threads(threads)
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +204,18 @@ mod tests {
         let mut sorted = submes.clone();
         sorted.sort_unstable();
         assert_eq!(submes, sorted);
+    }
+
+    #[test]
+    fn threaded_config_only_changes_threads() {
+        for p in Preset::ALL {
+            let threaded = p.config_threaded(4);
+            assert_eq!(threaded.threads, 4);
+            let mut back = threaded.clone();
+            back.threads = p.config().threads;
+            assert_eq!(back, p.config(), "{}", p.name());
+            threaded.validate().unwrap();
+        }
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct TranscodeOptions {
     pub plan: DataPlan,
     /// Profiler sampling shift (0 = trace everything; sweeps use 1–3).
     pub sample_shift: u32,
+    /// Wavefront encoder threads: `None` respects the encoder config's
+    /// `threads` field, `Some(n)` overrides it (`Some(0)` = auto). The
+    /// parallel encoder is bit-identical to the serial one, so this only
+    /// changes wall-clock time, never the report.
+    pub threads: Option<u32>,
 }
 
 impl Default for TranscodeOptions {
@@ -33,6 +38,7 @@ impl Default for TranscodeOptions {
             layout: None,
             plan: DataPlan::canonical(),
             sample_shift: 0,
+            threads: None,
         }
     }
 }
@@ -56,6 +62,12 @@ impl TranscodeOptions {
     /// Sets the sampling shift. Builder-style.
     pub fn with_sample_shift(mut self, shift: u32) -> Self {
         self.sample_shift = shift;
+        self
+    }
+
+    /// Sets the wavefront encoder thread count (`0` = auto). Builder-style.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = Some(threads);
         self
     }
 }
@@ -175,9 +187,13 @@ impl Transcoder {
         let input = Video::new(self.video.spec.clone(), decoded.frames);
 
         // Stage 2: re-encode at the target parameters.
+        let mut cfg_eff = cfg.clone();
+        if let Some(t) = opts.threads {
+            cfg_eff.threads = t;
+        }
         let encoded = {
             let _s = Span::enter("transcode/encode");
-            encode_video(&input, cfg, &mut prof)?
+            encode_video(&input, &cfg_eff, &mut prof)?
         };
 
         let psnr_db = quality::sequence_psnr(&input.frames, &encoded.recon)?;
@@ -281,5 +297,24 @@ mod tests {
         let b = t.transcode(&EncoderConfig::default(), &opts).unwrap();
         assert_eq!(a.profile.counts, b.profile.counts);
         assert_eq!(a.seconds, b.seconds);
+    }
+
+    #[test]
+    fn threads_option_does_not_change_the_report() {
+        let t = tiny_transcoder("bike");
+        let serial = t
+            .transcode(&EncoderConfig::default(), &TranscodeOptions::default())
+            .unwrap();
+        let threaded = t
+            .transcode(
+                &EncoderConfig::default(),
+                &TranscodeOptions::default().with_threads(3),
+            )
+            .unwrap();
+        assert_eq!(serial.profile.counts, threaded.profile.counts);
+        assert_eq!(serial.profile.profile, threaded.profile.profile);
+        assert_eq!(serial.seconds, threaded.seconds);
+        assert_eq!(serial.bitrate_kbps, threaded.bitrate_kbps);
+        assert_eq!(serial.psnr_db, threaded.psnr_db);
     }
 }

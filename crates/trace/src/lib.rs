@@ -56,5 +56,5 @@ pub mod report;
 
 pub use kernel::{KernelDesc, KernelId};
 pub use plan::DataPlan;
-pub use profiler::Profiler;
+pub use profiler::{ProfEvent, Profiler};
 pub use report::ProfileReport;

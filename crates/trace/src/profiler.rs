@@ -19,6 +19,34 @@ const CALL_OVERHEAD_INSNS: u64 = 12;
 /// Consecutive units traced per sampling burst (see [`Profiler::begin_unit`]).
 pub const SAMPLE_BURST: u64 = 16;
 
+/// One instrumentation event captured by a recording shard (see
+/// [`Profiler::recording_shard`]).
+///
+/// Replaying a recorded stream through [`Profiler::replay`] drives the cache,
+/// TLB and branch-predictor simulations exactly as if the events had been
+/// issued directly, so a parallel workload can record per-task shards and
+/// merge them in a deterministic order for bit-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfEvent {
+    /// A [`Profiler::begin_unit`] boundary.
+    BeginUnit(u64),
+    /// A [`Profiler::kernel`] invocation: `(kernel, iters, insns_per_iter,
+    /// heavy_per_iter)`.
+    Kernel(KernelId, u32, u32, u32),
+    /// A [`Profiler::branch`] outcome: `(site, taken)`.
+    Branch(u32, bool),
+    /// A [`Profiler::load`] at a byte address.
+    Load(u64),
+    /// A [`Profiler::store`] at a byte address.
+    Store(u64),
+    /// A [`Profiler::load_range`]: `(addr, bytes)`.
+    LoadRange(u64, u64),
+    /// A [`Profiler::store_range`]: `(addr, bytes)`.
+    StoreRange(u64, u64),
+    /// A [`Profiler::straightline`] instruction count.
+    Straightline(u64),
+}
+
 /// An online profiler for one execution of an instrumented workload.
 ///
 /// See the [crate documentation](crate) for the full event vocabulary and an
@@ -59,6 +87,11 @@ pub struct Profiler {
 
     data_cursor: u64,
     allocations: Vec<(String, u64, u64)>,
+
+    /// When `Some`, this profiler is a recording shard: events are appended
+    /// here instead of driving the simulations (see
+    /// [`Profiler::recording_shard`]).
+    recording: Option<Vec<ProfEvent>>,
 }
 
 impl Profiler {
@@ -98,7 +131,75 @@ impl Profiler {
             plan: DataPlan::default(),
             data_cursor: DATA_BASE,
             allocations: Vec::new(),
+            recording: None,
         })
+    }
+
+    /// Creates a *recording shard* of this profiler: a lightweight clone that
+    /// captures the event stream instead of simulating it.
+    ///
+    /// A shard inherits the parent's sampling shift and [`DataPlan`] so the
+    /// instrumented workload behaves identically against it (the same units
+    /// are active, the same plan gates are read). Events issued against the
+    /// shard are buffered — drain them with [`Profiler::take_events`] and
+    /// feed them to the parent via [`Profiler::replay`] in a deterministic
+    /// order; the parent's report is then bit-identical to having issued the
+    /// events directly. This is how the wavefront-parallel encoder keeps
+    /// per-thread counters mergeable without perturbing the simulation.
+    #[must_use]
+    pub fn recording_shard(&self) -> Profiler {
+        Profiler {
+            kernels: self.kernels.clone(),
+            layout: self.layout.clone(),
+            cfg: self.cfg.clone(),
+            hierarchy: MemoryHierarchy::new(&self.cfg).expect("config already validated"),
+            predictor: self.cfg.predictor.build(),
+            instructions: 0,
+            heavy_ops: 0,
+            profile: KernelProfile::new(self.kernels.len()),
+            last_kernel: None,
+            current_kernel: None,
+            branches: 0,
+            mispredicts: 0,
+            redirects: 0,
+            sample_shift: self.sample_shift,
+            active: true,
+            plan: self.plan,
+            data_cursor: self.data_cursor,
+            allocations: Vec::new(),
+            recording: Some(Vec::new()),
+        }
+    }
+
+    /// Whether this profiler is a recording shard.
+    pub fn is_recording(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// Drains the events buffered by a recording shard (empty for a normal
+    /// profiler). The shard stays usable and keeps recording.
+    pub fn take_events(&mut self) -> Vec<ProfEvent> {
+        match &mut self.recording {
+            Some(events) => std::mem::take(events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Applies a recorded event stream as if the events were issued directly
+    /// against this profiler, in order.
+    pub fn replay(&mut self, events: &[ProfEvent]) {
+        for e in events {
+            match *e {
+                ProfEvent::BeginUnit(index) => self.begin_unit(index),
+                ProfEvent::Kernel(k, iters, insns, heavy) => self.kernel(k, iters, insns, heavy),
+                ProfEvent::Branch(site, taken) => self.branch(site, taken),
+                ProfEvent::Load(addr) => self.load(addr),
+                ProfEvent::Store(addr) => self.store(addr),
+                ProfEvent::LoadRange(addr, bytes) => self.load_range(addr, bytes),
+                ProfEvent::StoreRange(addr, bytes) => self.store_range(addr, bytes),
+                ProfEvent::Straightline(insns) => self.straightline(insns),
+            }
+        }
     }
 
     /// Sets the sampling shift: only one in `2^shift` units is fed to the
@@ -142,6 +243,12 @@ impl Profiler {
     pub fn begin_unit(&mut self, index: u64) {
         let mask = (1u64 << self.sample_shift) - 1;
         self.active = (index / SAMPLE_BURST) & mask == 0;
+        // A shard records the boundary so replay reproduces the same
+        // active/skip pattern on the parent (`active` is a pure function of
+        // the unit index and the shared sampling shift).
+        if let Some(rec) = &mut self.recording {
+            rec.push(ProfEvent::BeginUnit(index));
+        }
     }
 
     /// Whether the current unit is being fed to the detailed simulation.
@@ -164,6 +271,10 @@ impl Profiler {
     /// loop's branches, and updates the call-pair profile.
     pub fn kernel(&mut self, k: KernelId, iters: u32, insns_per_iter: u32, heavy_per_iter: u32) {
         debug_assert!(k < self.kernels.len());
+        if let Some(rec) = &mut self.recording {
+            rec.push(ProfEvent::Kernel(k, iters, insns_per_iter, heavy_per_iter));
+            return;
+        }
         let insns = CALL_OVERHEAD_INSNS + u64::from(iters) * u64::from(insns_per_iter);
         self.instructions += insns;
         self.heavy_ops += u64::from(iters) * u64::from(heavy_per_iter);
@@ -214,7 +325,14 @@ impl Profiler {
     /// real outcome drives the simulated predictor.
     #[inline]
     pub fn branch(&mut self, site: u32, taken: bool) {
+        // Inactive units are filtered at record time: the shard computes the
+        // same `active` flag the parent will recompute at replay, so dropped
+        // events would be no-ops there anyway.
         if !self.active {
+            return;
+        }
+        if let Some(rec) = &mut self.recording {
+            rec.push(ProfEvent::Branch(site, taken));
             return;
         }
         let k = self.current_kernel.unwrap_or(0);
@@ -229,23 +347,37 @@ impl Profiler {
     /// Records a data load at a virtual byte address.
     #[inline]
     pub fn load(&mut self, addr: u64) {
-        if self.active {
-            self.hierarchy.load_line(addr >> 6);
+        if !self.active {
+            return;
         }
+        if let Some(rec) = &mut self.recording {
+            rec.push(ProfEvent::Load(addr));
+            return;
+        }
+        self.hierarchy.load_line(addr >> 6);
     }
 
     /// Records a data store at a virtual byte address.
     #[inline]
     pub fn store(&mut self, addr: u64) {
-        if self.active {
-            self.hierarchy.store_line(addr >> 6);
+        if !self.active {
+            return;
         }
+        if let Some(rec) = &mut self.recording {
+            rec.push(ProfEvent::Store(addr));
+            return;
+        }
+        self.hierarchy.store_line(addr >> 6);
     }
 
     /// Records a contiguous read of `bytes` starting at `addr` (touches each
     /// spanned cache line once).
     pub fn load_range(&mut self, addr: u64, bytes: u64) {
         if !self.active || bytes == 0 {
+            return;
+        }
+        if let Some(rec) = &mut self.recording {
+            rec.push(ProfEvent::LoadRange(addr, bytes));
             return;
         }
         let first = addr >> 6;
@@ -260,6 +392,10 @@ impl Profiler {
         if !self.active || bytes == 0 {
             return;
         }
+        if let Some(rec) = &mut self.recording {
+            rec.push(ProfEvent::StoreRange(addr, bytes));
+            return;
+        }
         let first = addr >> 6;
         let last = (addr + bytes - 1) >> 6;
         for line in first..=last {
@@ -270,6 +406,10 @@ impl Profiler {
     /// Adds plain (non-loop) instructions to the current kernel's account
     /// without any fetch or branch modelling — for straight-line sections.
     pub fn straightline(&mut self, insns: u64) {
+        if let Some(rec) = &mut self.recording {
+            rec.push(ProfEvent::Straightline(insns));
+            return;
+        }
         self.instructions += insns;
         if let Some(k) = self.current_kernel {
             self.profile.instructions[k] += insns;
@@ -602,6 +742,127 @@ mod tests {
         p.load_range(0x1000_0000, 256); // 4 lines
         let r = p.finish();
         assert_eq!(r.counts.loads.total(), 4);
+    }
+
+    /// A macroblock-like event stream touching every event kind.
+    fn mixed_stream(p: &mut Profiler, buf: u64) {
+        for unit in 0..600u64 {
+            p.begin_unit(unit);
+            p.kernel((unit % 3) as usize, 5, 11, 1);
+            p.load(buf + (unit * 96) % (1 << 16));
+            p.store(buf + (unit * 160) % (1 << 16));
+            p.load_range(buf + (unit * 64) % (1 << 16), 192);
+            p.store_range(buf + (unit * 32) % (1 << 16), 64);
+            p.branch(1, unit % 5 < 2);
+            p.straightline(7);
+        }
+    }
+
+    #[test]
+    fn record_replay_matches_direct_execution() {
+        let mut direct = profiler();
+        let buf = direct.alloc("b", 1 << 16);
+        mixed_stream(&mut direct, buf);
+        let want = direct.finish();
+
+        let mut main = profiler();
+        let buf2 = main.alloc("b", 1 << 16);
+        assert_eq!(buf, buf2);
+        let mut shard = main.recording_shard();
+        assert!(shard.is_recording() && !main.is_recording());
+        mixed_stream(&mut shard, buf2);
+        let events = shard.take_events();
+        assert!(shard.take_events().is_empty(), "take drains the buffer");
+        main.replay(&events);
+        let got = main.finish();
+
+        assert_eq!(want.counts, got.counts);
+        assert_eq!(want.profile, got.profile);
+        assert_eq!(want.hotspots, got.hotspots);
+        assert_eq!(want.breakdown.total_cycles, got.breakdown.total_cycles);
+    }
+
+    #[test]
+    fn record_replay_matches_under_sampling() {
+        let run_direct = |shift: u32| {
+            let mut p = profiler();
+            p.set_sample_shift(shift);
+            let buf = p.alloc("b", 1 << 16);
+            mixed_stream(&mut p, buf);
+            p.finish()
+        };
+        let shift = 2;
+        let want = run_direct(shift);
+
+        let mut main = profiler();
+        main.set_sample_shift(shift);
+        let buf = main.alloc("b", 1 << 16);
+        let mut shard = main.recording_shard();
+        mixed_stream(&mut shard, buf);
+        let events = shard.take_events();
+        // The shard filters inactive units' sampled-domain events (they
+        // would be no-ops at replay), so the stream is strictly smaller than
+        // the unsampled one.
+        let mut unsampled = profiler().recording_shard();
+        mixed_stream(&mut unsampled, buf);
+        assert!(events.len() < unsampled.take_events().len());
+        main.replay(&events);
+        let got = main.finish();
+        assert_eq!(want.counts, got.counts);
+        assert_eq!(want.profile, got.profile);
+    }
+
+    #[test]
+    fn shard_inherits_shift_and_plan() {
+        let mut p = profiler();
+        p.set_sample_shift(3);
+        let plan = DataPlan {
+            tile_me_window: true,
+            ..DataPlan::default()
+        };
+        p.set_data_plan(plan);
+        let mut shard = p.recording_shard();
+        assert_eq!(shard.data_plan(), plan);
+        // Same active/skip pattern as the parent.
+        for index in [0u64, 16, 128, 129, 1024] {
+            shard.begin_unit(index);
+            p.begin_unit(index);
+            assert_eq!(shard.is_active(), p.is_active(), "unit {index}");
+        }
+    }
+
+    #[test]
+    fn interleaved_shards_merge_in_replay_order() {
+        // Two shards recording disjoint halves, replayed in unit order,
+        // match one serial pass — the wavefront merge contract.
+        let mut direct = profiler();
+        let buf = direct.alloc("b", 1 << 16);
+        for unit in 0..200u64 {
+            direct.begin_unit(unit);
+            direct.kernel((unit % 2) as usize, 4, 9, 0);
+            direct.load(buf + unit * 64);
+            direct.branch(0, unit % 3 == 0);
+        }
+        let want = direct.finish();
+
+        let mut main = profiler();
+        let buf = main.alloc("b", 1 << 16);
+        let mut shards = [main.recording_shard(), main.recording_shard()];
+        let mut per_unit: Vec<Vec<ProfEvent>> = Vec::new();
+        for unit in 0..200u64 {
+            let s = &mut shards[(unit % 2) as usize];
+            s.begin_unit(unit);
+            s.kernel((unit % 2) as usize, 4, 9, 0);
+            s.load(buf + unit * 64);
+            s.branch(0, unit % 3 == 0);
+            per_unit.push(s.take_events());
+        }
+        for events in &per_unit {
+            main.replay(events);
+        }
+        let got = main.finish();
+        assert_eq!(want.counts, got.counts);
+        assert_eq!(want.profile, got.profile);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! characterization report.
 //!
 //! ```text
-//! cargo run --release --example characterize -- [sweep_video] [--trace-out FILE]
+//! cargo run --release --example characterize -- [sweep_video] [--trace-out FILE] [--threads N]
 //! ```
 //!
 //! With `--trace-out FILE` (or the `VTX_TRACE=FILE` environment variable)
@@ -10,6 +10,10 @@
 //! file in Perfetto or `chrome://tracing` to see per-point sweep spans,
 //! per-frame codec spans, and one simulated-time track per
 //! microarchitecture configuration.
+//!
+//! `--threads N` enables wavefront-parallel encoding inside each transcode
+//! (`0` = one worker per core). Results are bit-identical at any thread
+//! count — the flag only changes wall-clock time.
 
 use vtx_core::experiments::full_report::{characterize, ReportScope};
 use vtx_core::{trace_export, TranscodeOptions};
@@ -18,12 +22,16 @@ use vtx_telemetry::Collector;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scope = ReportScope::default();
     let mut trace_out = trace_export::init_from_env();
+    let mut threads: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace-out" {
             let path = args.next().ok_or("--trace-out needs a file path")?;
             Collector::enable();
             trace_out = Some(path);
+        } else if arg == "--threads" {
+            let n = args.next().ok_or("--threads needs a count (0 = auto)")?;
+            threads = Some(n.parse()?);
         } else {
             scope.sweep_video = arg;
         }
@@ -38,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scope.videos.as_ref().map_or(16, Vec::len)
     );
 
-    let opts = TranscodeOptions::default().with_sample_shift(1);
+    let mut opts = TranscodeOptions::default().with_sample_shift(1);
+    if let Some(t) = threads {
+        opts = opts.with_threads(t);
+    }
     let report = characterize(&scope, &opts)?;
     let md = report.to_markdown();
 

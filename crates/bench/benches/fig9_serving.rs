@@ -1,0 +1,64 @@
+//! Figure 9, extended from makespan to tail latency — the online serving
+//! restatement of the scheduler comparison: random / round-robin / smart
+//! dispatch over the bundled open-loop workload on the Table IV fleet,
+//! judged on p50/p90/p99 sojourn time, shed rate and SLO violations.
+
+use vtx_serve::fleet::Fleet;
+use vtx_serve::policy::policy_by_name;
+use vtx_serve::report::ServingReport;
+use vtx_serve::service::ServeConfig;
+use vtx_serve::sim::simulate;
+use vtx_serve::workload::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    vtx_bench::banner("Figure 9 (serving): dispatch policies on tail latency");
+    let mut workload = WorkloadSpec::bundled(vtx_bench::SEED);
+    if vtx_bench::full_run() {
+        workload.jobs *= 4;
+    }
+    println!(
+        "workload: {} jobs, {} Hz open-loop arrivals, {} videos, Table IV fleet\n",
+        workload.jobs,
+        workload.arrival_rate_hz,
+        workload.videos.len()
+    );
+
+    let mut reports: Vec<ServingReport> = Vec::new();
+    for name in ["random", "round_robin", "smart"] {
+        let policy = policy_by_name(name, workload.seed).expect("known policy");
+        let out = simulate(&workload, Fleet::table_iv(), policy, ServeConfig::default())?;
+        reports.push(out.report);
+    }
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "policy", "p50_ms", "p90_ms", "p99_ms", "tput", "shed%", "viol%"
+    );
+    for r in &reports {
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>8.2} {:>8.2} {:>8.2}",
+            r.policy,
+            r.sojourn.p50_us as f64 / 1e3,
+            r.sojourn.p90_us as f64 / 1e3,
+            r.sojourn.p99_us as f64 / 1e3,
+            r.throughput_jps,
+            r.shed_rate() * 100.0,
+            r.violation_rate() * 100.0
+        );
+    }
+
+    let random = &reports[0];
+    let smart = &reports[2];
+    println!(
+        "\nsmart over random: p99 {:+.1} %, mean {:+.1} %",
+        (smart.sojourn.p99_us as f64 / random.sojourn.p99_us as f64 - 1.0) * 100.0,
+        (smart.sojourn.mean_us as f64 / random.sojourn.mean_us as f64 - 1.0) * 100.0
+    );
+    assert!(
+        smart.sojourn.p99_us < random.sojourn.p99_us,
+        "characterization-driven dispatch must beat random on p99 sojourn"
+    );
+
+    vtx_bench::save_json("fig9_serving", &reports);
+    Ok(())
+}

@@ -79,19 +79,32 @@ pub fn scheduler_study(seed: u64, sample_shift: u32) -> Result<SchedulerStudy, C
     scheduler_study_with_tasks(&table_iii_tasks(), seed, sample_shift)
 }
 
-/// Runs the study with custom tasks (used by tests and ablations).
+/// Measured (task × config) matrices: the raw material of the Figure 9
+/// study and the calibration input of `vtx-serve`'s cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredMatrix {
+    /// Modified configuration names, column order of `times`.
+    pub config_names: Vec<String>,
+    /// Measured seconds on the baseline configuration, per task.
+    pub baseline_times: Vec<f64>,
+    /// Measured seconds, `times[task][config]`.
+    pub times: Vec<Vec<f64>>,
+    /// Characterization-driven benefit predictions, `benefit[task][config]`.
+    pub benefit: Vec<Vec<f64>>,
+}
+
+/// Measures every (task, config) pair on the Table IV configurations plus
+/// the baseline, and derives the smart scheduler's benefit predictions from
+/// the baseline characterization alone.
 ///
 /// # Errors
 ///
 /// Propagates transcoding failures.
-pub fn scheduler_study_with_tasks(
+pub fn measure_task_matrix(
     tasks: &[TranscodeTask],
     seed: u64,
     sample_shift: u32,
-) -> Result<SchedulerStudy, CoreError> {
-    let _span = Span::enter_with("experiment/scheduler", |a| {
-        a.u64("tasks", tasks.len() as u64);
-    });
+) -> Result<MeasuredMatrix, CoreError> {
     let configs = UarchConfig::modified_configs();
     let config_names: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
 
@@ -152,6 +165,34 @@ pub fn scheduler_study_with_tasks(
             Some(ci) => times[ti][ci] = report.seconds,
         }
     }
+
+    Ok(MeasuredMatrix {
+        config_names,
+        baseline_times,
+        times,
+        benefit,
+    })
+}
+
+/// Runs the study with custom tasks (used by tests and ablations).
+///
+/// # Errors
+///
+/// Propagates transcoding failures.
+pub fn scheduler_study_with_tasks(
+    tasks: &[TranscodeTask],
+    seed: u64,
+    sample_shift: u32,
+) -> Result<SchedulerStudy, CoreError> {
+    let _span = Span::enter_with("experiment/scheduler", |a| {
+        a.u64("tasks", tasks.len() as u64);
+    });
+    let MeasuredMatrix {
+        config_names,
+        baseline_times,
+        times,
+        benefit,
+    } = measure_task_matrix(tasks, seed, sample_shift)?;
 
     let random_total = random_expected_time(&times);
     let smart = smart_assignment(&benefit, &times);

@@ -1,0 +1,140 @@
+//! Error type for fallible scheduling entry points.
+//!
+//! The original Figure 9 drivers run over matrices they construct
+//! themselves, so the panicking API is fine there; an online serving layer
+//! (`vtx-serve`) receives fleets and task batches from the outside world and
+//! must be able to reject malformed input without taking down the server
+//! loop. The `try_*` variants in [`crate::scheduler`] and
+//! [`crate::hungarian`] return this type; the panicking wrappers remain for
+//! the existing examples and keep their historical messages.
+
+use std::error::Error;
+use std::fmt;
+
+/// A malformed scheduling problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The time/benefit/cost matrix has no rows.
+    NoTasks,
+    /// The matrix has rows but no columns.
+    NoConfigs,
+    /// A row's length disagrees with the first row's.
+    RaggedMatrix {
+        /// Index of the offending row.
+        row: usize,
+        /// Expected row length (from row 0).
+        expected: usize,
+        /// Actual length of the offending row.
+        got: usize,
+    },
+    /// Two matrices that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the first matrix as (rows, cols).
+        left: (usize, usize),
+        /// Shape of the second matrix as (rows, cols).
+        right: (usize, usize),
+    },
+    /// A one-to-one assignment was requested with more tasks than
+    /// configurations.
+    TooManyTasks {
+        /// Number of tasks (rows).
+        tasks: usize,
+        /// Number of configurations (columns).
+        configs: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoTasks => write!(f, "need at least one task"),
+            SchedError::NoConfigs => write!(f, "need at least one configuration"),
+            SchedError::RaggedMatrix { row, expected, got } => write!(
+                f,
+                "time matrix must be rectangular (row {row} has {got} columns, expected {expected})"
+            ),
+            SchedError::ShapeMismatch { left, right } => write!(
+                f,
+                "matrix shapes must match ({}x{} vs {}x{})",
+                left.0, left.1, right.0, right.1
+            ),
+            SchedError::TooManyTasks { tasks, configs } => write!(
+                f,
+                "need at least as many columns as rows for a one-to-one \
+                 assignment ({tasks} tasks, {configs} configurations)"
+            ),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+/// Validates that `m` is a nonempty rectangular matrix; returns its shape.
+pub(crate) fn validate_matrix(m: &[Vec<f64>]) -> Result<(usize, usize), SchedError> {
+    if m.is_empty() {
+        return Err(SchedError::NoTasks);
+    }
+    let cols = m[0].len();
+    if cols == 0 {
+        return Err(SchedError::NoConfigs);
+    }
+    for (row, r) in m.iter().enumerate() {
+        if r.len() != cols {
+            return Err(SchedError::RaggedMatrix {
+                row,
+                expected: cols,
+                got: r.len(),
+            });
+        }
+    }
+    Ok((m.len(), cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_reports_shape() {
+        assert_eq!(validate_matrix(&[vec![1.0, 2.0]]), Ok((1, 2)));
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_ragged() {
+        assert_eq!(validate_matrix(&[]), Err(SchedError::NoTasks));
+        assert_eq!(validate_matrix(&[vec![]]), Err(SchedError::NoConfigs));
+        assert_eq!(
+            validate_matrix(&[vec![1.0, 2.0], vec![3.0]]),
+            Err(SchedError::RaggedMatrix {
+                row: 1,
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn display_keeps_historic_messages() {
+        // The panicking wrappers format these errors; existing callers match
+        // on the original assert! substrings.
+        assert!(SchedError::NoTasks
+            .to_string()
+            .contains("at least one task"));
+        assert!(SchedError::NoConfigs
+            .to_string()
+            .contains("at least one configuration"));
+        assert!(SchedError::RaggedMatrix {
+            row: 1,
+            expected: 2,
+            got: 1
+        }
+        .to_string()
+        .contains("rectangular"));
+        assert!(SchedError::TooManyTasks {
+            tasks: 3,
+            configs: 2
+        }
+        .to_string()
+        .contains("columns"));
+    }
+}

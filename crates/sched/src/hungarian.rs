@@ -1,6 +1,8 @@
 //! The Hungarian (Kuhn–Munkres) algorithm for minimum-cost one-to-one
 //! assignment, implemented with the O(n³) potentials formulation.
 
+use crate::error::{validate_matrix, SchedError};
+
 /// Solves the rectangular assignment problem: `cost[i][j]` is the cost of
 /// giving row (task) `i` to column (server) `j`, with `rows <= cols`.
 /// Returns the column assigned to each row, minimizing total cost.
@@ -79,6 +81,55 @@ pub fn solve(cost: &[Vec<f64>]) -> Vec<usize> {
         }
     }
     assignment
+}
+
+/// Fallible variant of [`solve`]: validates the matrix instead of
+/// panicking, for callers fed from untrusted input (the online serving
+/// layer).
+///
+/// # Errors
+///
+/// Returns [`SchedError`] when the matrix is empty, ragged, or has more
+/// rows than columns.
+pub fn try_solve(cost: &[Vec<f64>]) -> Result<Vec<usize>, SchedError> {
+    let (n, m) = validate_matrix(cost)?;
+    if n > m {
+        return Err(SchedError::TooManyTasks {
+            tasks: n,
+            configs: m,
+        });
+    }
+    Ok(solve(cost))
+}
+
+/// Rectangular assignment in *both* orientations.
+///
+/// With `rows <= cols` this is [`solve`] with every row assigned. With
+/// `rows > cols` (more queued tasks than idle servers — the common case in
+/// an online dispatcher) the matrix is transposed, solved for the columns,
+/// and mapped back: exactly `cols` rows receive a column, the rest get
+/// `None` and stay queued. The chosen subset minimizes total cost among all
+/// ways of giving each column one row.
+///
+/// # Errors
+///
+/// Returns [`SchedError`] when the matrix is empty or ragged.
+pub fn solve_padded(cost: &[Vec<f64>]) -> Result<Vec<Option<usize>>, SchedError> {
+    let (n, m) = validate_matrix(cost)?;
+    if n <= m {
+        return Ok(solve(cost).into_iter().map(Some).collect());
+    }
+    // Transpose: rows become the m servers, columns the n tasks (m < n, so
+    // the transposed problem satisfies rows <= cols).
+    let t: Vec<Vec<f64>> = (0..m)
+        .map(|j| (0..n).map(|i| cost[i][j]).collect())
+        .collect();
+    let per_col = solve(&t); // per_col[j] = row (task) given to column j
+    let mut out = vec![None; n];
+    for (col, &row) in per_col.iter().enumerate() {
+        out[row] = Some(col);
+    }
+    Ok(out)
 }
 
 /// Total cost of an assignment.
@@ -183,5 +234,105 @@ mod tests {
     fn more_rows_than_cols_panics() {
         let cost = vec![vec![1.0], vec![2.0]];
         let _ = solve(&cost);
+    }
+
+    #[test]
+    fn try_solve_rejects_malformed_input() {
+        use crate::error::SchedError;
+        assert_eq!(try_solve(&[]), Err(SchedError::NoTasks));
+        assert_eq!(try_solve(&[vec![]]), Err(SchedError::NoConfigs));
+        assert_eq!(
+            try_solve(&[vec![1.0, 2.0], vec![3.0]]),
+            Err(SchedError::RaggedMatrix {
+                row: 1,
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            try_solve(&[vec![1.0], vec![2.0]]),
+            Err(SchedError::TooManyTasks {
+                tasks: 2,
+                configs: 1
+            })
+        );
+        assert_eq!(try_solve(&[vec![2.0, 1.0]]), Ok(vec![1]));
+    }
+
+    #[test]
+    fn padded_1x1() {
+        assert_eq!(solve_padded(&[vec![7.0]]), Ok(vec![Some(0)]));
+    }
+
+    #[test]
+    fn padded_wide_assigns_every_row() {
+        // rows < cols: same as solve().
+        let cost = vec![vec![10.0, 1.0, 10.0], vec![10.0, 2.0, 0.5]];
+        assert_eq!(solve_padded(&cost), Ok(vec![Some(1), Some(2)]));
+    }
+
+    #[test]
+    fn padded_tall_assigns_exactly_cols_rows() {
+        // 4 tasks, 2 servers: tasks 1 and 3 are the cheap fits.
+        let cost = vec![
+            vec![9.0, 9.0],
+            vec![1.0, 8.0],
+            vec![9.0, 9.0],
+            vec![8.0, 1.0],
+        ];
+        let a = solve_padded(&cost).unwrap();
+        assert_eq!(a, vec![None, Some(0), None, Some(1)]);
+        let assigned = a.iter().flatten().count();
+        assert_eq!(assigned, 2);
+    }
+
+    #[test]
+    fn padded_tall_is_injective_and_optimal() {
+        // Compare against brute force over which 3 of the 5 rows get the 3
+        // columns (transposed brute force: columns pick distinct rows).
+        let mut state = 0xdead_beefu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            ((state >> 33) % 1000) as f64 / 10.0
+        };
+        for trial in 0..20 {
+            let n = 3 + (trial % 3); // 3..5 rows
+            let m = 2; // fewer columns
+            let cost: Vec<Vec<f64>> = (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+            let a = solve_padded(&cost).unwrap();
+            // Injective over columns, exactly m assigned.
+            let mut seen = vec![false; m];
+            let mut total = 0.0;
+            for (i, slot) in a.iter().enumerate() {
+                if let Some(j) = slot {
+                    assert!(!seen[*j], "column {j} assigned twice (trial {trial})");
+                    seen[*j] = true;
+                    total += cost[i][*j];
+                }
+            }
+            assert_eq!(a.iter().flatten().count(), m);
+            // Brute force the transposed problem for the optimum.
+            let t: Vec<Vec<f64>> = (0..m)
+                .map(|j| (0..n).map(|i| cost[i][j]).collect())
+                .collect();
+            let want = brute_force(&t);
+            assert!(
+                (total - want).abs() < 1e-9,
+                "trial {trial}: padded {total} vs brute {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn padded_breaks_ties_deterministically() {
+        // All-equal costs: any assignment is optimal, but repeated runs must
+        // agree (the serving layer's determinism contract).
+        let cost = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]];
+        let a = solve_padded(&cost).unwrap();
+        let b = solve_padded(&cost).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.iter().flatten().count(), 2);
     }
 }

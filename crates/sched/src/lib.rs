@@ -23,9 +23,14 @@
 
 pub mod affinity;
 pub mod batch;
+mod error;
 pub mod hungarian;
 pub mod scheduler;
 pub mod task;
 
-pub use scheduler::{best_assignment, random_expected_time, smart_assignment, ScheduleOutcome};
+pub use error::SchedError;
+pub use scheduler::{
+    best_assignment, random_expected_time, smart_assignment, try_best_assignment,
+    try_random_expected_time, try_smart_assignment, ScheduleOutcome,
+};
 pub use task::{table_iii_tasks, TranscodeTask};

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::{validate_matrix, SchedError};
 use crate::hungarian;
 
 /// Result of running one scheduling policy.
@@ -28,30 +29,48 @@ impl ScheduleOutcome {
     }
 }
 
-fn validate(times: &[Vec<f64>]) {
-    assert!(!times.is_empty(), "need at least one task");
-    let m = times[0].len();
-    assert!(m > 0, "need at least one configuration");
-    assert!(
-        times.iter().all(|r| r.len() == m),
-        "time matrix must be rectangular"
-    );
-}
-
 /// Expected total time of the random scheduler: each task's expected time is
 /// its average over all configurations (the paper's definition).
+///
+/// # Panics
+///
+/// Panics on an empty or ragged matrix; see [`try_random_expected_time`]
+/// for the fallible variant.
 pub fn random_expected_time(times: &[Vec<f64>]) -> f64 {
-    validate(times);
-    times
+    try_random_expected_time(times).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`random_expected_time`].
+///
+/// # Errors
+///
+/// Returns [`SchedError`] on an empty or ragged matrix.
+pub fn try_random_expected_time(times: &[Vec<f64>]) -> Result<f64, SchedError> {
+    validate_matrix(times)?;
+    Ok(times
         .iter()
         .map(|row| row.iter().sum::<f64>() / row.len() as f64)
-        .sum()
+        .sum())
 }
 
 /// The best (oracle) scheduler: per-task minimum with no one-to-one
 /// constraint.
+///
+/// # Panics
+///
+/// Panics on an empty or ragged matrix; see [`try_best_assignment`] for the
+/// fallible variant.
 pub fn best_assignment(times: &[Vec<f64>]) -> ScheduleOutcome {
-    validate(times);
+    try_best_assignment(times).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`best_assignment`].
+///
+/// # Errors
+///
+/// Returns [`SchedError`] on an empty or ragged matrix.
+pub fn try_best_assignment(times: &[Vec<f64>]) -> Result<ScheduleOutcome, SchedError> {
+    validate_matrix(times)?;
     let assignment: Vec<usize> = times
         .iter()
         .map(|row| {
@@ -68,10 +87,10 @@ pub fn best_assignment(times: &[Vec<f64>]) -> ScheduleOutcome {
         .map(|(i, &j)| times[i][j])
         .sum();
     emit_placements("best", &assignment, None, times);
-    ScheduleOutcome {
+    Ok(ScheduleOutcome {
         assignment,
         total_time,
-    }
+    })
 }
 
 /// Records one telemetry event per task placement: the chosen configuration
@@ -106,27 +125,44 @@ fn emit_placements(
 /// more tasks than configurations (the one-to-one constraint would be
 /// unsatisfiable).
 pub fn smart_assignment(benefit: &[Vec<f64>], times: &[Vec<f64>]) -> ScheduleOutcome {
-    validate(times);
-    validate(benefit);
-    assert_eq!(benefit.len(), times.len(), "task count mismatch");
-    assert_eq!(benefit[0].len(), times[0].len(), "config count mismatch");
+    try_smart_assignment(benefit, times).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`smart_assignment`].
+///
+/// # Errors
+///
+/// Returns [`SchedError`] when either matrix is empty or ragged, their
+/// shapes disagree, or tasks outnumber configurations.
+pub fn try_smart_assignment(
+    benefit: &[Vec<f64>],
+    times: &[Vec<f64>],
+) -> Result<ScheduleOutcome, SchedError> {
+    let t_shape = validate_matrix(times)?;
+    let b_shape = validate_matrix(benefit)?;
+    if t_shape != b_shape {
+        return Err(SchedError::ShapeMismatch {
+            left: b_shape,
+            right: t_shape,
+        });
+    }
 
     // Hungarian minimizes; negate benefits to maximize.
     let cost: Vec<Vec<f64>> = benefit
         .iter()
         .map(|row| row.iter().map(|&b| -b).collect())
         .collect();
-    let assignment = hungarian::solve(&cost);
+    let assignment = hungarian::try_solve(&cost)?;
     let total_time = assignment
         .iter()
         .enumerate()
         .map(|(i, &j)| times[i][j])
         .sum();
     emit_placements("smart", &assignment, Some(benefit), times);
-    ScheduleOutcome {
+    Ok(ScheduleOutcome {
         assignment,
         total_time,
-    }
+    })
 }
 
 /// Fraction of tasks where two assignments agree (the paper reports the
@@ -220,5 +256,51 @@ mod tests {
     fn match_rate_counts_agreements() {
         assert!((match_rate(&[0, 1, 2, 3], &[0, 1, 3, 2]) - 0.5).abs() < 1e-12);
         assert!((match_rate(&[], &[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_variants_reject_malformed_matrices() {
+        use crate::error::SchedError;
+        assert_eq!(try_random_expected_time(&[]), Err(SchedError::NoTasks));
+        assert_eq!(
+            try_best_assignment(&[vec![]]).unwrap_err(),
+            SchedError::NoConfigs
+        );
+        assert_eq!(
+            try_smart_assignment(&[vec![1.0]], &[vec![1.0, 2.0]]).unwrap_err(),
+            SchedError::ShapeMismatch {
+                left: (1, 1),
+                right: (1, 2)
+            }
+        );
+        // More tasks than configs: one-to-one unsatisfiable.
+        assert_eq!(
+            try_smart_assignment(&[vec![1.0], vec![1.0]], &[vec![1.0], vec![1.0]]).unwrap_err(),
+            SchedError::TooManyTasks {
+                tasks: 2,
+                configs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn try_variants_agree_with_panicking_api() {
+        let t = diagonal_times();
+        let b = diagonal_benefit();
+        assert_eq!(
+            try_best_assignment(&t).unwrap().assignment,
+            best_assignment(&t).assignment
+        );
+        assert_eq!(
+            try_smart_assignment(&b, &t).unwrap().assignment,
+            smart_assignment(&b, &t).assignment
+        );
+        assert!((try_random_expected_time(&t).unwrap() - random_expected_time(&t)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn panicking_wrapper_keeps_message() {
+        let _ = random_expected_time(&[]);
     }
 }

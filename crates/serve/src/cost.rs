@@ -1,0 +1,244 @@
+//! Throughput-model-driven service-time prediction.
+//!
+//! The smart dispatch policy must rank (job, server) pairs *without running
+//! them* — the serving-layer analog of the paper's characterization-driven
+//! scheduler, in the spirit of PALMED-style predicted-cost placement. The
+//! model has two faces:
+//!
+//! * [`CostModel::predicted_us`] — what the policy is allowed to see: a
+//!   closed-form throughput estimate from the catalog entry (resolution ×
+//!   fps), the encoder parameters (preset/crf/refs trends from Figures 3/6)
+//!   and the parameter-trend affinity model of
+//!   [`vtx_sched::affinity::predict_benefit`] applied to the server's
+//!   Table IV configuration and speed grade.
+//! * [`CostModel::true_us`] — what the discrete-event engine bills: the
+//!   prediction times deterministic lognormal-ish noise that is a pure
+//!   function of `(seed, job, server)`. Truth never depends on the policy
+//!   or on dispatch order, so policies compete on identical ground and any
+//!   run is exactly reproducible.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use vtx_codec::Preset;
+use vtx_frame::vbench;
+use vtx_sched::affinity::predict_benefit;
+use vtx_sched::TranscodeTask;
+
+use crate::fleet::ServerSpec;
+use crate::rng::{derive, SplitMix64};
+use crate::workload::JobSpec;
+
+/// Per-preset relative encode cost (fastest → slowest), calibrated to the
+/// Figure 6 speed spread.
+const PRESET_COST: [f64; 10] = [0.30, 0.38, 0.50, 0.65, 0.85, 1.0, 1.6, 2.6, 4.2, 8.0];
+
+/// Pixels per second a reference (speed 1.0) server encodes at preset
+/// `medium`, crf 23.
+const PIXEL_RATE: f64 = 80.0e6;
+
+/// Nominal clip duration in seconds (vbench clips are ~5 s excerpts).
+const CLIP_SECONDS: f64 = 5.0;
+
+/// Deterministic service-time model over a video catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Noise seed (usually the workload seed).
+    pub seed: u64,
+    /// Multiplier on the affinity benefit share: how strongly a matching
+    /// Table IV configuration speeds a task up.
+    pub affinity_gain: f64,
+    /// Lognormal sigma of the per-job size surprise (same on all servers).
+    pub sigma_job: f64,
+    /// Lognormal sigma of the per-(job, server) residual.
+    pub sigma_pair: f64,
+    /// Catalog cache: video short name → (pixels per clip, entropy).
+    catalog: BTreeMap<String, (f64, f64)>,
+}
+
+impl CostModel {
+    /// Builds the model over the full vbench catalog.
+    pub fn new(seed: u64) -> Self {
+        let catalog = vbench::catalog()
+            .into_iter()
+            .map(|v| {
+                let px = f64::from(v.nominal_width)
+                    * f64::from(v.nominal_height)
+                    * f64::from(v.fps)
+                    * CLIP_SECONDS;
+                (v.short_name, (px, v.entropy))
+            })
+            .collect();
+        CostModel {
+            seed,
+            affinity_gain: 2.5,
+            sigma_job: 0.45,
+            sigma_pair: 0.30,
+            catalog,
+        }
+    }
+
+    /// Whether the model can price this video.
+    pub fn knows(&self, video: &str) -> bool {
+        self.catalog.contains_key(video)
+    }
+
+    fn lookup(&self, video: &str) -> (f64, f64) {
+        // Unknown videos are rejected at admission; mid-catalog defaults
+        // keep the model total if one slips through.
+        self.catalog
+            .get(video)
+            .copied()
+            .unwrap_or((1280.0 * 720.0 * 30.0 * CLIP_SECONDS, 3.0))
+    }
+
+    /// Baseline-server seconds for a task (speed 1.0, no affinity gain).
+    fn base_seconds(&self, task: &TranscodeTask) -> f64 {
+        let (px, _) = self.lookup(&task.video);
+        let rank = Preset::ALL
+            .iter()
+            .position(|&p| p == task.preset)
+            .unwrap_or(5);
+        let preset_factor = PRESET_COST[rank];
+        // Lower CRF = more bits = more work (Figure 2's speed edge).
+        let crf_factor = 1.6 - 0.015 * f64::from(task.crf);
+        let refs_factor = 1.0 + 0.06 * f64::from(task.refs.saturating_sub(1));
+        (px * preset_factor * crf_factor.max(0.2) * refs_factor / PIXEL_RATE).max(1e-3)
+    }
+
+    /// The policy-visible prediction in microseconds (≥ 1).
+    pub fn predicted_us(&self, job: &JobSpec, server: &ServerSpec) -> u64 {
+        let (_, entropy) = self.lookup(&job.task.video);
+        let gain = server
+            .config_index()
+            .map(|k| self.affinity_gain * predict_benefit(&job.task, entropy)[k])
+            .unwrap_or(0.0);
+        let secs = self.base_seconds(&job.task) / (server.speed * (1.0 + gain));
+        ((secs * 1e6).round() as u64).max(1)
+    }
+
+    /// The engine-billed truth in microseconds: prediction × job surprise ×
+    /// pair residual. Pure in `(seed, job.id, server index)`.
+    pub fn true_us(&self, job: &JobSpec, server_idx: usize, server: &ServerSpec) -> u64 {
+        let predicted = self.predicted_us(job, server) as f64;
+        let job_noise = lognormalish(
+            derive(self.seed, job.id.wrapping_mul(2) + 1),
+            self.sigma_job,
+        );
+        let pair_noise = lognormalish(
+            derive(derive(self.seed, job.id), server_idx as u64 + 1),
+            self.sigma_pair,
+        );
+        ((predicted * job_noise * pair_noise).round() as u64).max(1)
+    }
+}
+
+/// A cheap lognormal-ish multiplier: exp(sigma · z) with z an
+/// Irwin–Hall(3) approximation of a standard normal (variance-corrected).
+fn lognormalish(seed: u64, sigma: f64) -> f64 {
+    let mut r = SplitMix64::new(seed);
+    // Sum of 3 uniforms has mean 1.5, std 0.5; rescale to unit std.
+    let z = (r.next_f64() + r.next_f64() + r.next_f64() - 1.5) * 2.0;
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use crate::workload::{Priority, WorkloadSpec};
+
+    fn job(video: &str, crf: u8, refs: u8, preset: Preset) -> JobSpec {
+        JobSpec {
+            id: 1,
+            arrival_us: 0,
+            task: TranscodeTask::new(video, crf, refs, preset),
+            priority: Priority::Standard,
+            deadline_us: 10_000_000,
+            timeout_us: 10_000_000,
+        }
+    }
+
+    #[test]
+    fn slower_presets_cost_more() {
+        let m = CostModel::new(42);
+        let f = Fleet::table_iv();
+        let s = f.server(0);
+        let fast = m.predicted_us(&job("bike", 23, 3, Preset::Ultrafast), s);
+        let slow = m.predicted_us(&job("bike", 23, 3, Preset::Veryslow), s);
+        assert!(slow > 5 * fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn bigger_videos_cost_more() {
+        let m = CostModel::new(42);
+        let f = Fleet::table_iv();
+        let s = f.server(1);
+        let small = m.predicted_us(&job("cat", 23, 3, Preset::Medium), s); // 480p
+        let large = m.predicted_us(&job("presentation", 23, 3, Preset::Medium), s); // 1080p
+        assert!(large > 3 * small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn faster_servers_and_affinity_lower_the_prediction() {
+        let m = CostModel::new(42);
+        let mut a = Fleet::table_iv().server(0).clone(); // baseline
+        let j = job("hall", 23, 3, Preset::Medium); // high-entropy clip
+        a.speed = 1.0;
+        let base = m.predicted_us(&j, &a);
+        let mut fast = a.clone();
+        fast.speed = 2.0;
+        assert!(m.predicted_us(&j, &fast) < base);
+        // A matching config (fe_op attacks the front-end share a
+        // high-entropy clip loses slots to) beats an equal-speed baseline.
+        let f = Fleet::table_iv();
+        let fe = f
+            .servers()
+            .iter()
+            .find(|s| s.uarch.name == "fe_op")
+            .unwrap();
+        let mut fe_ref = fe.clone();
+        fe_ref.speed = 1.0;
+        assert!(m.predicted_us(&j, &fe_ref) < base);
+    }
+
+    #[test]
+    fn truth_is_a_pure_function_of_seed_job_server() {
+        let m = CostModel::new(42);
+        let f = Fleet::table_iv();
+        let j = job("bike", 23, 3, Preset::Medium);
+        let a = m.true_us(&j, 2, f.server(2));
+        let b = m.true_us(&j, 2, f.server(2));
+        assert_eq!(a, b);
+        // Different server index → different residual.
+        assert_ne!(a, m.true_us(&j, 3, f.server(2)));
+        // Different seed → different noise.
+        let m2 = CostModel::new(43);
+        assert_ne!(a, m2.true_us(&j, 2, f.server(2)));
+    }
+
+    #[test]
+    fn truth_tracks_prediction_on_average() {
+        let m = CostModel::new(42);
+        let f = Fleet::table_iv();
+        let jobs = WorkloadSpec::bundled(42).generate().unwrap();
+        let mut ratio_sum = 0.0;
+        for j in &jobs {
+            let p = m.predicted_us(j, f.server(1)) as f64;
+            let t = m.true_us(j, 1, f.server(1)) as f64;
+            ratio_sum += t / p;
+        }
+        let mean_ratio = ratio_sum / jobs.len() as f64;
+        // exp(sigma²/2) bias of the lognormal noise stays near 1.
+        assert!((0.8..1.6).contains(&mean_ratio), "mean ratio {mean_ratio}");
+    }
+
+    #[test]
+    fn knows_the_whole_catalog() {
+        let m = CostModel::new(1);
+        assert!(m.knows("bike"));
+        assert!(m.knows("bbb"));
+        assert!(!m.knows("nope"));
+    }
+}

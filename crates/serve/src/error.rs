@@ -1,0 +1,88 @@
+//! Error type for the serving layer.
+
+use std::error::Error;
+use std::fmt;
+
+use vtx_core::CoreError;
+use vtx_sched::SchedError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A fleet with no servers was supplied.
+    EmptyFleet,
+    /// A workload with no jobs was supplied.
+    EmptyWorkload,
+    /// A job references a video outside the vbench catalog.
+    UnknownVideo {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An arrival-trace line failed to parse.
+    Trace {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The dispatch solver rejected its input (a bug in fleet/queue sizing).
+    Sched(SchedError),
+    /// A real-executor transcode failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::EmptyFleet => write!(f, "fleet must contain at least one server"),
+            ServeError::EmptyWorkload => write!(f, "workload must contain at least one job"),
+            ServeError::UnknownVideo { name } => {
+                write!(f, "video '{name}' is not in the vbench catalog")
+            }
+            ServeError::Trace { line, message } => {
+                write!(f, "arrival trace line {line}: {message}")
+            }
+            ServeError::Sched(e) => write!(f, "dispatch solver error: {e}"),
+            ServeError::Core(e) => write!(f, "transcode error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Sched(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchedError> for ServeError {
+    fn from(e: SchedError) -> Self {
+        ServeError::Sched(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(ServeError::EmptyFleet.to_string().contains("fleet"));
+        let e: ServeError = SchedError::NoTasks.into();
+        assert!(e.source().is_some());
+        let e = ServeError::Trace {
+            line: 3,
+            message: "bad preset".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Heterogeneous worker fleets built from the Table IV configurations.
+
+use serde::{Deserialize, Serialize};
+
+use vtx_sched::affinity::CONFIG_NAMES;
+use vtx_uarch::config::UarchConfig;
+
+use crate::error::ServeError;
+
+/// One server: a microarchitecture plus a relative speed grade (cloud
+/// fleets mix CPU generations; 1.0 = the paper's reference part).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Display name (unique within a fleet).
+    pub name: String,
+    /// Microarchitecture configuration (Table IV column).
+    pub uarch: UarchConfig,
+    /// Relative speed multiplier (>1 = faster part).
+    pub speed: f64,
+}
+
+impl ServerSpec {
+    /// Index of this server's uarch in [`CONFIG_NAMES`] order, `None` for
+    /// the baseline (which attacks no Top-down category).
+    pub fn config_index(&self) -> Option<usize> {
+        CONFIG_NAMES.iter().position(|&n| n == self.uarch.name)
+    }
+}
+
+/// A validated, nonempty set of servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    servers: Vec<ServerSpec>,
+}
+
+impl Fleet {
+    /// Builds a fleet, rejecting an empty server list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::EmptyFleet`] when `servers` is empty.
+    pub fn new(servers: Vec<ServerSpec>) -> Result<Self, ServeError> {
+        if servers.is_empty() {
+            return Err(ServeError::EmptyFleet);
+        }
+        Ok(Fleet { servers })
+    }
+
+    /// The bundled heterogeneous fleet: the baseline plus the four modified
+    /// Table IV configurations, with mixed speed grades — slow front-end
+    /// box, reference back-end boxes, one fast bad-speculation box — so
+    /// placement quality actually matters.
+    ///
+    /// # Panics
+    ///
+    /// Never: the construction is static.
+    pub fn table_iv() -> Self {
+        let speeds = [0.9, 1.0, 1.05, 1.0, 1.15];
+        let mut servers = vec![ServerSpec {
+            name: "baseline-0".to_owned(),
+            uarch: UarchConfig::baseline(),
+            speed: speeds[0],
+        }];
+        for (i, cfg) in UarchConfig::modified_configs().into_iter().enumerate() {
+            servers.push(ServerSpec {
+                name: format!("{}-0", cfg.name),
+                uarch: cfg,
+                speed: speeds[i + 1],
+            });
+        }
+        Fleet { servers }
+    }
+
+    /// A fleet of `n` replicas of every Table IV configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::EmptyFleet`] when `n` is 0.
+    pub fn table_iv_replicated(n: usize) -> Result<Self, ServeError> {
+        if n == 0 {
+            return Err(ServeError::EmptyFleet);
+        }
+        let base = Fleet::table_iv();
+        let mut servers = Vec::with_capacity(base.len() * n);
+        for r in 0..n {
+            for s in &base.servers {
+                let mut s = s.clone();
+                // base names end in "-0"; re-suffix per replica.
+                let stem = s.name.trim_end_matches("-0").to_owned();
+                s.name = format!("{stem}-{r}");
+                servers.push(s);
+            }
+        }
+        Ok(Fleet { servers })
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the fleet is empty (never true for a constructed fleet).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The servers, index order.
+    pub fn servers(&self) -> &[ServerSpec] {
+        &self.servers
+    }
+
+    /// One server.
+    pub fn server(&self, idx: usize) -> &ServerSpec {
+        &self.servers[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_fleet_has_all_five_configs() {
+        let f = Fleet::table_iv();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.server(0).uarch.name, "baseline");
+        assert_eq!(f.server(0).config_index(), None);
+        for (i, name) in CONFIG_NAMES.iter().enumerate() {
+            let s = f.servers().iter().find(|s| s.uarch.name == *name).unwrap();
+            assert_eq!(s.config_index(), Some(i));
+        }
+    }
+
+    #[test]
+    fn replication_renames_uniquely() {
+        let f = Fleet::table_iv_replicated(2).unwrap();
+        assert_eq!(f.len(), 10);
+        let mut names: Vec<&str> = f.servers().iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "server names must be unique");
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert_eq!(Fleet::new(vec![]).unwrap_err(), ServeError::EmptyFleet);
+        assert_eq!(
+            Fleet::table_iv_replicated(0).unwrap_err(),
+            ServeError::EmptyFleet
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! # vtx-serve — an online transcoding service layer
+//!
+//! The paper characterizes transcoding as an *offline batch* problem:
+//! Figure 9's schedulers assign a fixed task list to a fixed fleet and are
+//! judged on makespan. Production transcoding is a *service*: jobs arrive
+//! continuously, carry per-class latency expectations, and an overloaded
+//! system must decide what to shed. This crate rebuilds the paper's
+//! characterization-driven scheduling insight in that setting:
+//!
+//! * [`workload`] — a seeded open-loop load generator over the vbench
+//!   catalog: Poisson arrivals, three service classes (interactive /
+//!   standard / batch) with per-class SLO budgets and timeouts, plus a
+//!   plain-text arrival-trace format ([`workload::render_trace`] /
+//!   [`workload::parse_trace`]) for reproducible experiments.
+//! * [`queue`] — bounded per-class admission queues with backpressure,
+//!   priority load-shedding and deadline expiry.
+//! * [`policy`] — one [`policy::DispatchPolicy`] trait, three policies:
+//!   `random` and `round_robin` baselines and `smart`, which prices
+//!   (job × idle-server) pairs with the affinity model of `vtx-sched` and
+//!   solves the rectangular assignment with the Hungarian solver.
+//! * [`fleet`] — heterogeneous fleets of Table IV microarchitectures with
+//!   mixed speed grades.
+//! * [`cost`] — the two-faced service-time model: a policy-visible
+//!   prediction and an engine-billed truth that is a pure function of
+//!   `(seed, job, server)`, so policies compete on identical ground.
+//! * [`service`] — the shared [`service::ServiceCore`] (admission, dispatch,
+//!   accounting, event log) used by **both** drivers.
+//! * [`sim`] — the deterministic discrete-event fleet engine: same seed in,
+//!   byte-identical event log, assignment vector and report out.
+//! * [`exec`] — the real executor: wall-clock time, per-server worker
+//!   threads running actual profiled [`vtx_core::Transcoder`] jobs through
+//!   the same service core.
+//! * [`report`] — exact p50/p90/p99 sojourn statistics, shed/violation
+//!   rates, per-server utilization, deterministic text rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vtx_serve::fleet::Fleet;
+//! use vtx_serve::policy::policy_by_name;
+//! use vtx_serve::service::ServeConfig;
+//! use vtx_serve::sim::simulate;
+//! use vtx_serve::workload::WorkloadSpec;
+//!
+//! let workload = WorkloadSpec::smoke(42);
+//! let out = simulate(
+//!     &workload,
+//!     Fleet::table_iv(),
+//!     policy_by_name("smart", 42).unwrap(),
+//!     ServeConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(out.report.offered, 60);
+//! assert_eq!(out.report.completed + out.report.shed_total(), 60);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod error;
+pub mod exec;
+pub mod fleet;
+pub mod policy;
+pub mod queue;
+pub mod report;
+pub mod rng;
+pub mod service;
+pub mod sim;
+pub mod workload;
+
+pub use error::ServeError;
+pub use fleet::{Fleet, ServerSpec};
+pub use policy::{policy_by_name, DispatchPolicy};
+pub use report::ServingReport;
+pub use service::{ServeConfig, ServiceCore};
+pub use sim::{simulate, SimOutcome};
+pub use workload::{JobSpec, Priority, WorkloadSpec};

@@ -1,0 +1,326 @@
+//! Online dispatch policies: the Figure 9 trio, re-posed for serving.
+//!
+//! The paper's schedulers assign a *static batch* one-to-one; an online
+//! dispatcher repeatedly faces a smaller problem — the currently queued
+//! candidates versus the currently idle servers — every time an arrival or
+//! completion changes the state. All three policies implement one trait so
+//! the discrete-event engine and the real threaded executor drive them
+//! through the same code path.
+
+use std::fmt;
+
+use crate::cost::CostModel;
+use crate::fleet::Fleet;
+use crate::queue::PendingJob;
+use crate::rng::SplitMix64;
+use vtx_sched::hungarian;
+
+/// Everything a policy may look at when assigning.
+#[derive(Debug)]
+pub struct DispatchCtx<'a> {
+    /// The fleet (server specs, speeds, uarch kinds).
+    pub fleet: &'a Fleet,
+    /// The throughput model (predictions only — truth is engine-private).
+    pub model: &'a CostModel,
+    /// Current time in microseconds.
+    pub now_us: u64,
+}
+
+/// An online dispatch policy.
+pub trait DispatchPolicy: fmt::Debug + Send {
+    /// Policy name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses assignments among `jobs` (queue candidates, priority/EDF
+    /// order) and `idle` (idle server indices, ascending). Returns
+    /// `(job_pos, idle_pos)` pairs into those slices; each position may be
+    /// used at most once. Unmatched jobs stay queued.
+    fn assign(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &[usize],
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)>;
+}
+
+/// Uniform-random placement (the paper's random scheduler, online).
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: SplitMix64,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with its own seeded stream.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl DispatchPolicy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn assign(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &[usize],
+        _ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        let n = jobs.len().min(idle.len());
+        // Partial Fisher–Yates over the idle positions.
+        let mut slots: Vec<usize> = (0..idle.len()).collect();
+        let mut out = Vec::with_capacity(n);
+        for (job_pos, _) in jobs.iter().enumerate().take(n) {
+            let pick = job_pos + self.rng.next_range((slots.len() - job_pos) as u64) as usize;
+            slots.swap(job_pos, pick);
+            out.push((job_pos, slots[job_pos]));
+        }
+        out
+    }
+}
+
+/// Round-robin over the fleet (the classic characterization-blind
+/// baseline): a cursor walks server indices; each job takes the next idle
+/// server at or after the cursor.
+#[derive(Debug, Default)]
+pub struct RoundRobinPolicy {
+    cursor: usize,
+}
+
+impl RoundRobinPolicy {
+    /// Creates the policy with the cursor at server 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DispatchPolicy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn assign(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &[usize],
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        let fleet_len = ctx.fleet.len();
+        let n = jobs.len().min(idle.len());
+        let mut used = vec![false; idle.len()];
+        let mut out = Vec::with_capacity(n);
+        for job_pos in 0..n {
+            // First unused idle server at or after the cursor (cyclic).
+            let pick = (0..idle.len())
+                .map(|off| {
+                    let target = (self.cursor + off) % fleet_len;
+                    idle.iter().position(|&s| s == target).filter(|&p| !used[p])
+                })
+                .find_map(|p| p)
+                .or_else(|| used.iter().position(|&u| !u));
+            let Some(idle_pos) = pick else { break };
+            used[idle_pos] = true;
+            self.cursor = (idle[idle_pos] + 1) % fleet_len;
+            out.push((job_pos, idle_pos));
+        }
+        out
+    }
+}
+
+/// The characterization-driven policy: minimum predicted total service time
+/// over the (candidates × idle servers) matrix via the Hungarian solver —
+/// the smart scheduler of Figure 9 run continuously over whatever is
+/// currently queued and idle. When queued jobs outnumber idle servers the
+/// rectangular solve picks which jobs run *now* (the rest wait), still
+/// minimizing predicted cost.
+#[derive(Debug, Default)]
+pub struct SmartPolicy;
+
+impl SmartPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        SmartPolicy
+    }
+}
+
+impl DispatchPolicy for SmartPolicy {
+    fn name(&self) -> &'static str {
+        "smart"
+    }
+
+    fn assign(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &[usize],
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        if jobs.is_empty() || idle.is_empty() {
+            return Vec::new();
+        }
+        let cost: Vec<Vec<f64>> = jobs
+            .iter()
+            .map(|j| {
+                idle.iter()
+                    .map(|&s| ctx.model.predicted_us(&j.spec, ctx.fleet.server(s)) as f64)
+                    .collect()
+            })
+            .collect();
+        match hungarian::solve_padded(&cost) {
+            Ok(assignment) => assignment
+                .into_iter()
+                .enumerate()
+                .filter_map(|(job_pos, slot)| slot.map(|idle_pos| (job_pos, idle_pos)))
+                .collect(),
+            // The matrix is rectangular by construction; a solver error
+            // would be a bug — fall back to in-order greedy rather than
+            // crash the serving loop.
+            Err(_) => jobs
+                .iter()
+                .enumerate()
+                .take(idle.len())
+                .map(|(i, _)| (i, i))
+                .collect(),
+        }
+    }
+}
+
+/// Builds a policy by name (`random`, `round_robin`/`rr`, `smart`).
+pub fn policy_by_name(name: &str, seed: u64) -> Option<Box<dyn DispatchPolicy>> {
+    match name {
+        "random" => Some(Box::new(RandomPolicy::new(seed))),
+        "round_robin" | "rr" => Some(Box::new(RoundRobinPolicy::new())),
+        "smart" => Some(Box::new(SmartPolicy::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::PendingJob;
+    use crate::workload::{JobSpec, Priority};
+    use vtx_codec::Preset;
+    use vtx_sched::TranscodeTask;
+
+    fn pending(id: u64, video: &str, preset: Preset) -> PendingJob {
+        PendingJob {
+            spec: JobSpec {
+                id,
+                arrival_us: 0,
+                task: TranscodeTask::new(video, 23, 3, preset),
+                priority: Priority::Standard,
+                deadline_us: u64::MAX,
+                timeout_us: u64::MAX,
+            },
+            admitted_us: 0,
+            attempts: 0,
+        }
+    }
+
+    fn ctx<'a>(fleet: &'a Fleet, model: &'a CostModel) -> DispatchCtx<'a> {
+        DispatchCtx {
+            fleet,
+            model,
+            now_us: 0,
+        }
+    }
+
+    #[test]
+    fn assignments_are_injective_for_all_policies() {
+        let fleet = Fleet::table_iv();
+        let model = CostModel::new(42);
+        let jobs: Vec<PendingJob> = (0..8).map(|i| pending(i, "bike", Preset::Medium)).collect();
+        let refs: Vec<&PendingJob> = jobs.iter().collect();
+        let idle = vec![0, 2, 4];
+        for mut p in [
+            Box::new(RandomPolicy::new(1)) as Box<dyn DispatchPolicy>,
+            Box::new(RoundRobinPolicy::new()),
+            Box::new(SmartPolicy::new()),
+        ] {
+            let a = p.assign(&refs, &idle, &ctx(&fleet, &model));
+            assert_eq!(a.len(), 3, "{} should fill all idle servers", p.name());
+            let mut seen_jobs = vec![false; refs.len()];
+            let mut seen_slots = vec![false; idle.len()];
+            for (j, s) in a {
+                assert!(!seen_jobs[j] && !seen_slots[s], "{}", p.name());
+                seen_jobs[j] = true;
+                seen_slots[s] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_the_fleet() {
+        let fleet = Fleet::table_iv();
+        let model = CostModel::new(42);
+        let mut p = RoundRobinPolicy::new();
+        let jobs: Vec<PendingJob> = (0..2).map(|i| pending(i, "bike", Preset::Fast)).collect();
+        let refs: Vec<&PendingJob> = jobs.iter().collect();
+        let all = vec![0, 1, 2, 3, 4];
+        let a1 = p.assign(&refs[..1], &all, &ctx(&fleet, &model));
+        assert_eq!(a1, vec![(0, 0)]);
+        // Cursor advanced: next single job goes to server 1.
+        let a2 = p.assign(&refs[..1], &all, &ctx(&fleet, &model));
+        assert_eq!(a2, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn smart_prefers_the_affine_server() {
+        let fleet = Fleet::table_iv();
+        let model = CostModel::new(42);
+        // One job, all servers idle: smart must pick the predicted-fastest.
+        let j = pending(0, "hall", Preset::Medium);
+        let refs = vec![&j];
+        let idle = vec![0, 1, 2, 3, 4];
+        let mut p = SmartPolicy::new();
+        let a = p.assign(&refs, &idle, &ctx(&fleet, &model));
+        assert_eq!(a.len(), 1);
+        let picked = idle[a[0].1];
+        let best = idle
+            .iter()
+            .copied()
+            .min_by_key(|&s| model.predicted_us(&j.spec, fleet.server(s)))
+            .unwrap();
+        assert_eq!(picked, best);
+    }
+
+    #[test]
+    fn smart_handles_more_jobs_than_servers() {
+        let fleet = Fleet::table_iv();
+        let model = CostModel::new(42);
+        let jobs: Vec<PendingJob> = (0..7)
+            .map(|i| pending(i, "girl", Preset::Veryfast))
+            .collect();
+        let refs: Vec<&PendingJob> = jobs.iter().collect();
+        let idle = vec![1, 3];
+        let mut p = SmartPolicy::new();
+        let a = p.assign(&refs, &idle, &ctx(&fleet, &model));
+        assert_eq!(a.len(), 2, "exactly the idle servers get work");
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let fleet = Fleet::table_iv();
+        let model = CostModel::new(42);
+        let jobs: Vec<PendingJob> = (0..5).map(|i| pending(i, "cat", Preset::Fast)).collect();
+        let refs: Vec<&PendingJob> = jobs.iter().collect();
+        let idle = vec![0, 1, 2, 3, 4];
+        let mut p1 = RandomPolicy::new(9);
+        let mut p2 = RandomPolicy::new(9);
+        assert_eq!(
+            p1.assign(&refs, &idle, &ctx(&fleet, &model)),
+            p2.assign(&refs, &idle, &ctx(&fleet, &model))
+        );
+    }
+
+    #[test]
+    fn policy_by_name_resolves() {
+        assert_eq!(policy_by_name("random", 1).unwrap().name(), "random");
+        assert_eq!(policy_by_name("rr", 1).unwrap().name(), "round_robin");
+        assert_eq!(policy_by_name("smart", 1).unwrap().name(), "smart");
+        assert!(policy_by_name("oracle", 1).is_none());
+    }
+}

@@ -1,0 +1,276 @@
+//! Bounded per-priority admission queues with backpressure and shedding.
+//!
+//! Admission control is the first line of defense of an overloaded serving
+//! system: unbounded queues turn overload into unbounded latency for
+//! *everyone*. Each service class gets its own bounded FIFO; when a class
+//! queue is full the queue exerts backpressure by refusing the job —
+//! except that an arriving higher-priority job may shed the *newest* job of
+//! the lowest-priority backlogged class instead (load shedding), so
+//! interactive traffic survives batch floods. Jobs whose deadline passes
+//! while still queued are dropped at dispatch time (they could only waste a
+//! server).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::workload::{JobSpec, Priority};
+
+/// Why a job was shed rather than served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// Its class queue (and anything lower-priority it could displace) was
+    /// full at arrival.
+    QueueFull,
+    /// A higher-priority arrival displaced it.
+    Displaced,
+    /// Its deadline passed while it was still queued.
+    Expired,
+    /// It timed out on a server more times than the retry budget allows.
+    RetriesExhausted,
+}
+
+impl ShedReason {
+    /// Short name used in event logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Displaced => "displaced",
+            ShedReason::Expired => "expired",
+            ShedReason::RetriesExhausted => "retries_exhausted",
+        }
+    }
+}
+
+/// Queue sizing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Per-class capacity, [`Priority::ALL`] order.
+    pub per_class_cap: [usize; 3],
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            per_class_cap: [16, 32, 64],
+        }
+    }
+}
+
+/// A job waiting in (or flowing through) the service: the immutable spec
+/// plus its service history so far.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingJob {
+    /// The trace entry.
+    pub spec: JobSpec,
+    /// When the service admitted it (µs).
+    pub admitted_us: u64,
+    /// Dispatch attempts so far (0 = never dispatched).
+    pub attempts: u32,
+}
+
+/// Outcome of offering a job to the queue.
+#[derive(Debug, PartialEq)]
+pub enum Admission {
+    /// Job queued.
+    Admitted,
+    /// Job queued after displacing a lower-priority job (returned).
+    AdmittedDisplacing(PendingJob),
+    /// Job refused: everything it could use or displace is full.
+    Refused(PendingJob),
+}
+
+/// Bounded, priority-segregated admission queue.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    classes: [VecDeque<PendingJob>; 3],
+    cfg: QueueConfig,
+}
+
+impl AdmissionQueue {
+    /// Creates an empty queue with the given sizing.
+    pub fn new(cfg: QueueConfig) -> Self {
+        AdmissionQueue {
+            classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            cfg,
+        }
+    }
+
+    /// Total queued jobs.
+    pub fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.classes.iter().all(VecDeque::is_empty)
+    }
+
+    /// Queued jobs in one class.
+    pub fn depth(&self, p: Priority) -> usize {
+        self.classes[p.index()].len()
+    }
+
+    /// Offers a job. The job lands at the back of its class queue; if that
+    /// queue is full, the *newest* job of the lowest-priority class with a
+    /// strictly lower priority is displaced to make room. Equal-or-higher
+    /// priority jobs are never displaced, and a full Batch queue refuses
+    /// batch arrivals outright (pure backpressure).
+    pub fn offer(&mut self, job: PendingJob) -> Admission {
+        let k = job.spec.priority.index();
+        if self.classes[k].len() < self.cfg.per_class_cap[k] {
+            self.classes[k].push_back(job);
+            return Admission::Admitted;
+        }
+        // Class full: try to displace from the lowest-priority backlogged
+        // class below this job's priority.
+        for lower in (k + 1..Priority::ALL.len()).rev() {
+            if let Some(victim) = self.classes[lower].pop_back() {
+                self.classes[k].push_back(job);
+                return Admission::AdmittedDisplacing(victim);
+            }
+        }
+        Admission::Refused(job)
+    }
+
+    /// Removes and returns every queued job whose deadline has passed.
+    pub fn drop_expired(&mut self, now_us: u64) -> Vec<PendingJob> {
+        let mut dropped = Vec::new();
+        for q in &mut self.classes {
+            let mut keep = VecDeque::with_capacity(q.len());
+            while let Some(j) = q.pop_front() {
+                if j.spec.deadline_us <= now_us {
+                    dropped.push(j);
+                } else {
+                    keep.push_back(j);
+                }
+            }
+            *q = keep;
+        }
+        dropped
+    }
+
+    /// The first `limit` dispatch candidates: strict priority order, and
+    /// earliest-deadline-first within a class (FIFO ties broken by id, so
+    /// the order is total and deterministic).
+    pub fn candidates(&self, limit: usize) -> Vec<&PendingJob> {
+        let mut out: Vec<&PendingJob> = Vec::new();
+        for q in &self.classes {
+            let mut class: Vec<&PendingJob> = q.iter().collect();
+            class.sort_by_key(|j| (j.spec.deadline_us, j.spec.id));
+            for j in class {
+                if out.len() == limit {
+                    return out;
+                }
+                out.push(j);
+            }
+        }
+        out
+    }
+
+    /// Removes a specific job by id (after the policy chose it).
+    pub fn take(&mut self, id: u64) -> Option<PendingJob> {
+        for q in &mut self.classes {
+            if let Some(pos) = q.iter().position(|j| j.spec.id == id) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtx_codec::Preset;
+    use vtx_sched::TranscodeTask;
+
+    fn job(id: u64, priority: Priority, deadline_us: u64) -> PendingJob {
+        PendingJob {
+            spec: JobSpec {
+                id,
+                arrival_us: 0,
+                task: TranscodeTask::new("bike", 23, 3, Preset::Medium),
+                priority,
+                deadline_us,
+                timeout_us: 1_000_000,
+            },
+            admitted_us: 0,
+            attempts: 0,
+        }
+    }
+
+    fn tiny() -> AdmissionQueue {
+        AdmissionQueue::new(QueueConfig {
+            per_class_cap: [1, 1, 1],
+        })
+    }
+
+    #[test]
+    fn admits_until_full_then_refuses() {
+        let mut q = tiny();
+        assert_eq!(q.offer(job(0, Priority::Batch, 100)), Admission::Admitted);
+        match q.offer(job(1, Priority::Batch, 100)) {
+            Admission::Refused(j) => assert_eq!(j.spec.id, 1),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn higher_priority_displaces_newest_lowest() {
+        let mut q = tiny();
+        q.offer(job(0, Priority::Interactive, 100));
+        q.offer(job(1, Priority::Batch, 100));
+        // Interactive queue full; batch job 1 is the victim.
+        match q.offer(job(2, Priority::Interactive, 100)) {
+            Admission::AdmittedDisplacing(v) => assert_eq!(v.spec.id, 1),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        assert_eq!(q.depth(Priority::Interactive), 2);
+        assert_eq!(q.depth(Priority::Batch), 0);
+    }
+
+    #[test]
+    fn equal_priority_is_never_displaced() {
+        let mut q = tiny();
+        q.offer(job(0, Priority::Standard, 100));
+        match q.offer(job(1, Priority::Standard, 100)) {
+            Admission::Refused(j) => assert_eq!(j.spec.id, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_expired_removes_only_past_deadline() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        q.offer(job(0, Priority::Standard, 50));
+        q.offer(job(1, Priority::Standard, 150));
+        let dropped = q.drop_expired(100);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].spec.id, 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn candidates_are_priority_then_edf_ordered() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        q.offer(job(0, Priority::Batch, 10));
+        q.offer(job(1, Priority::Interactive, 500));
+        q.offer(job(2, Priority::Standard, 50));
+        q.offer(job(3, Priority::Standard, 20));
+        let ids: Vec<u64> = q.candidates(10).iter().map(|j| j.spec.id).collect();
+        assert_eq!(ids, vec![1, 3, 2, 0]);
+        let ids: Vec<u64> = q.candidates(2).iter().map(|j| j.spec.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn take_removes_by_id() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        q.offer(job(7, Priority::Batch, 100));
+        assert!(q.take(8).is_none());
+        assert_eq!(q.take(7).unwrap().spec.id, 7);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! A tiny, fully deterministic PRNG for the serving layer.
+//!
+//! The discrete-event engine's contract is *byte-identical* reports across
+//! runs and platforms, so it cannot depend on an external RNG crate whose
+//! stream might change between versions. SplitMix64 is 10 lines, passes
+//! BigCrush, and — crucially — supports cheap independent streams via
+//! [`derive`], which the cost model uses to make per-(job, server) service
+//! noise a pure function of `(seed, job, server)` rather than of the order
+//! in which a policy happens to probe pairs.
+
+/// SplitMix64 (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is < 2^-40 for the n used here (catalog sizes, fleet
+        // sizes); irrelevant next to determinism.
+        self.next_u64() % n
+    }
+
+    /// Exponentially distributed sample with the given mean (inverse-CDF).
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        let u = self.next_f64();
+        // 1 - u is in (0, 1], so ln is finite.
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Picks an index according to (unnormalized, nonnegative) weights.
+    /// Falls back to index 0 when all weights are zero.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut x = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+/// Hash-combines a seed with a stream id into an independent SplitMix64
+/// seed. Used to give every (job, server) pair its own noise stream that is
+/// independent of dispatch order.
+pub fn derive(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z = (z ^ (z >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^ (z >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exp_has_roughly_the_requested_mean() {
+        let mut r = SplitMix64::new(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.next_exp(2.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_pick_respects_zero_weights() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..100 {
+            let i = r.pick_weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+        assert_eq!(r.pick_weighted(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn derive_streams_are_order_free() {
+        // The same (seed, stream) always yields the same sub-seed.
+        assert_eq!(derive(42, 7), derive(42, 7));
+        assert_ne!(derive(42, 7), derive(42, 8));
+        assert_ne!(derive(41, 7), derive(42, 7));
+    }
+}

@@ -1,0 +1,576 @@
+//! The shared service core: admission, dispatch, and accounting.
+//!
+//! Both drivers — the discrete-event fleet engine ([`crate::sim`]) and the
+//! real threaded executor ([`crate::exec`]) — own a [`ServiceCore`] and call
+//! the same four entry points (`offer`, `dispatch`, `complete`, `timeout`).
+//! The core holds the queue, the policy, the event log and all counters;
+//! the drivers only decide *when* those entry points fire and what a
+//! completed job costs. That split is what makes the simulated and real
+//! paths comparable: a policy bug or queueing bug shows up identically in
+//! both.
+
+use serde::{Deserialize, Serialize};
+
+use vtx_telemetry::metrics;
+
+use crate::cost::CostModel;
+use crate::fleet::Fleet;
+use crate::policy::{DispatchCtx, DispatchPolicy};
+use crate::queue::{Admission, AdmissionQueue, PendingJob, QueueConfig, ShedReason};
+use crate::report::{LatencyStats, ServerStats, ServingReport};
+use crate::workload::{JobSpec, Priority};
+
+/// Service-layer tuning knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Admission-queue sizing.
+    pub queue: QueueConfig,
+    /// Dispatch attempts allowed after a timeout (0 = fail on first).
+    pub max_retries: u32,
+    /// How many queued candidates the policy sees per dispatch round.
+    pub candidate_window: usize,
+    /// Whether to keep the full event log (reports always work).
+    pub collect_event_log: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue: QueueConfig::default(),
+            max_retries: 1,
+            candidate_window: 8,
+            collect_event_log: true,
+        }
+    }
+}
+
+/// One service-layer event, timestamped in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventRecord {
+    /// A job arrived from the load generator.
+    Arrive {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+    },
+    /// The queue admitted a job.
+    Admit {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+        /// Service class.
+        class: Priority,
+    },
+    /// A job was shed.
+    Shed {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+        /// Why.
+        reason: ShedReason,
+    },
+    /// The policy placed a job on a server.
+    Dispatch {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+        /// Server index in the fleet.
+        server: usize,
+        /// 1-based dispatch attempt.
+        attempt: u32,
+    },
+    /// A job finished on a server.
+    Complete {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+        /// Server index in the fleet.
+        server: usize,
+        /// Arrival → completion time (µs).
+        sojourn_us: u64,
+        /// Whether it finished past its deadline.
+        violation: bool,
+    },
+    /// A dispatch attempt hit the job's timeout.
+    Timeout {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+        /// Server index in the fleet.
+        server: usize,
+        /// 1-based attempt that timed out.
+        attempt: u32,
+    },
+}
+
+impl EventRecord {
+    /// Event timestamp (µs).
+    pub fn time_us(&self) -> u64 {
+        match *self {
+            EventRecord::Arrive { t, .. }
+            | EventRecord::Admit { t, .. }
+            | EventRecord::Shed { t, .. }
+            | EventRecord::Dispatch { t, .. }
+            | EventRecord::Complete { t, .. }
+            | EventRecord::Timeout { t, .. } => t,
+        }
+    }
+
+    /// One deterministic log line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            EventRecord::Arrive { t, id } => format!("{t:>12} arrive   job={id}"),
+            EventRecord::Admit { t, id, class } => {
+                format!("{t:>12} admit    job={id} class={}", class.name())
+            }
+            EventRecord::Shed { t, id, reason } => {
+                format!("{t:>12} shed     job={id} reason={}", reason.name())
+            }
+            EventRecord::Dispatch {
+                t,
+                id,
+                server,
+                attempt,
+            } => format!("{t:>12} dispatch job={id} server={server} attempt={attempt}"),
+            EventRecord::Complete {
+                t,
+                id,
+                server,
+                sojourn_us,
+                violation,
+            } => format!(
+                "{t:>12} complete job={id} server={server} sojourn_us={sojourn_us} violation={violation}"
+            ),
+            EventRecord::Timeout {
+                t,
+                id,
+                server,
+                attempt,
+            } => format!("{t:>12} timeout  job={id} server={server} attempt={attempt}"),
+        }
+    }
+}
+
+/// The state machine shared by both drivers.
+#[derive(Debug)]
+pub struct ServiceCore {
+    cfg: ServeConfig,
+    fleet: Fleet,
+    model: CostModel,
+    policy: Box<dyn DispatchPolicy>,
+    queue: AdmissionQueue,
+    log: Vec<EventRecord>,
+    offered: u64,
+    completed: u64,
+    violations: u64,
+    retries: u64,
+    shed: [u64; 4],
+    sojourns: Vec<u64>,
+    sojourns_by_class: [Vec<u64>; 3],
+    server_busy_us: Vec<u64>,
+    server_jobs: Vec<u64>,
+    /// `(job id, server index)` in dispatch order — the serving analog of a
+    /// Fig 9 assignment vector, asserted on by the determinism tests.
+    assignments: Vec<(u64, usize)>,
+}
+
+impl ServiceCore {
+    /// Builds a core over a fleet, model and policy.
+    pub fn new(
+        cfg: ServeConfig,
+        fleet: Fleet,
+        model: CostModel,
+        policy: Box<dyn DispatchPolicy>,
+    ) -> Self {
+        let n = fleet.len();
+        let queue = AdmissionQueue::new(cfg.queue.clone());
+        ServiceCore {
+            cfg,
+            fleet,
+            model,
+            policy,
+            queue,
+            log: Vec::new(),
+            offered: 0,
+            completed: 0,
+            violations: 0,
+            retries: 0,
+            shed: [0; 4],
+            sojourns: Vec::new(),
+            sojourns_by_class: [Vec::new(), Vec::new(), Vec::new()],
+            server_busy_us: vec![0; n],
+            server_jobs: vec![0; n],
+            assignments: Vec::new(),
+        }
+    }
+
+    /// The fleet this core serves.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The cost model (drivers bill truth from it).
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The policy's report name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Jobs currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn record(&mut self, ev: EventRecord) {
+        if self.cfg.collect_event_log {
+            self.log.push(ev);
+        }
+    }
+
+    fn shed_job(&mut self, job: &PendingJob, reason: ShedReason, now_us: u64) {
+        self.shed[reason as usize] += 1;
+        metrics::counter("serve/shed").add(1);
+        self.record(EventRecord::Shed {
+            t: now_us,
+            id: job.spec.id,
+            reason,
+        });
+    }
+
+    /// Offers an arriving job to admission control.
+    pub fn offer(&mut self, spec: JobSpec, now_us: u64) {
+        self.offered += 1;
+        metrics::counter("serve/offered").add(1);
+        let id = spec.id;
+        let class = spec.priority;
+        self.record(EventRecord::Arrive { t: now_us, id });
+        let job = PendingJob {
+            spec,
+            admitted_us: now_us,
+            attempts: 0,
+        };
+        match self.queue.offer(job) {
+            Admission::Admitted => {
+                self.record(EventRecord::Admit {
+                    t: now_us,
+                    id,
+                    class,
+                });
+            }
+            Admission::AdmittedDisplacing(victim) => {
+                self.record(EventRecord::Admit {
+                    t: now_us,
+                    id,
+                    class,
+                });
+                self.shed_job(&victim, ShedReason::Displaced, now_us);
+            }
+            Admission::Refused(job) => {
+                self.shed_job(&job, ShedReason::QueueFull, now_us);
+            }
+        }
+    }
+
+    /// Runs one dispatch round: expire stale jobs, show the policy the
+    /// front of the queue and the idle servers, and commit its choices.
+    /// Returns `(job, server index)` pairs for the driver to start.
+    pub fn dispatch(&mut self, idle: &[usize], now_us: u64) -> Vec<(PendingJob, usize)> {
+        for victim in self.queue.drop_expired(now_us) {
+            self.shed_job(&victim, ShedReason::Expired, now_us);
+        }
+        if idle.is_empty() || self.queue.is_empty() {
+            return Vec::new();
+        }
+        let picks: Vec<(u64, usize)> = {
+            let candidates = self.queue.candidates(self.cfg.candidate_window);
+            let ctx = DispatchCtx {
+                fleet: &self.fleet,
+                model: &self.model,
+                now_us,
+            };
+            self.policy
+                .assign(&candidates, idle, &ctx)
+                .into_iter()
+                .map(|(job_pos, idle_pos)| (candidates[job_pos].spec.id, idle[idle_pos]))
+                .collect()
+        };
+        let mut started = Vec::with_capacity(picks.len());
+        for (id, server) in picks {
+            // A policy returning stale or duplicate ids is a bug; skip
+            // rather than poison the run.
+            let Some(mut job) = self.queue.take(id) else {
+                continue;
+            };
+            job.attempts += 1;
+            if job.attempts > 1 {
+                self.retries += 1;
+            }
+            self.record(EventRecord::Dispatch {
+                t: now_us,
+                id,
+                server,
+                attempt: job.attempts,
+            });
+            self.assignments.push((id, server));
+            started.push((job, server));
+        }
+        started
+    }
+
+    /// Books a finished job: `started_us` is when the dispatch began.
+    pub fn complete(&mut self, job: &PendingJob, server: usize, started_us: u64, now_us: u64) {
+        self.server_busy_us[server] += now_us.saturating_sub(started_us);
+        self.server_jobs[server] += 1;
+        self.completed += 1;
+        let sojourn = now_us.saturating_sub(job.spec.arrival_us);
+        let violation = now_us > job.spec.deadline_us;
+        if violation {
+            self.violations += 1;
+            metrics::counter("serve/slo_violations").add(1);
+        }
+        metrics::counter("serve/completed").add(1);
+        metrics::histogram("serve/sojourn_us").record(sojourn);
+        self.sojourns.push(sojourn);
+        self.sojourns_by_class[job.spec.priority.index()].push(sojourn);
+        self.record(EventRecord::Complete {
+            t: now_us,
+            id: job.spec.id,
+            server,
+            sojourn_us: sojourn,
+            violation,
+        });
+    }
+
+    /// Books a timed-out dispatch attempt. The job goes back through
+    /// admission if it has retry budget left; otherwise it is shed.
+    pub fn timeout(&mut self, job: PendingJob, server: usize, started_us: u64, now_us: u64) {
+        self.server_busy_us[server] += now_us.saturating_sub(started_us);
+        metrics::counter("serve/timeouts").add(1);
+        self.record(EventRecord::Timeout {
+            t: now_us,
+            id: job.spec.id,
+            server,
+            attempt: job.attempts,
+        });
+        if job.attempts > self.cfg.max_retries {
+            self.shed_job(&job, ShedReason::RetriesExhausted, now_us);
+            return;
+        }
+        if job.spec.deadline_us <= now_us {
+            self.shed_job(&job, ShedReason::Expired, now_us);
+            return;
+        }
+        match self.queue.offer(job) {
+            Admission::Admitted => {}
+            Admission::AdmittedDisplacing(victim) => {
+                self.shed_job(&victim, ShedReason::Displaced, now_us);
+            }
+            Admission::Refused(job) => {
+                self.shed_job(&job, ShedReason::QueueFull, now_us);
+            }
+        }
+    }
+
+    /// The `(job id, server)` sequence committed so far, dispatch order.
+    pub fn assignments(&self) -> &[(u64, usize)] {
+        &self.assignments
+    }
+
+    /// The event log (empty when `collect_event_log` is off).
+    pub fn event_log(&self) -> &[EventRecord] {
+        &self.log
+    }
+
+    /// Finalizes the run into a report; `makespan_us` is the timestamp of
+    /// the last event the driver processed.
+    pub fn into_report(self, seed: u64, makespan_us: u64) -> (ServingReport, Vec<EventRecord>) {
+        let makespan_secs = makespan_us as f64 / 1e6;
+        let throughput = if makespan_us == 0 {
+            0.0
+        } else {
+            self.completed as f64 / makespan_secs
+        };
+        let servers = self
+            .fleet
+            .servers()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ServerStats {
+                name: s.name.clone(),
+                jobs: self.server_jobs[i],
+                busy_us: self.server_busy_us[i],
+                utilization: if makespan_us == 0 {
+                    0.0
+                } else {
+                    self.server_busy_us[i] as f64 / makespan_us as f64
+                },
+            })
+            .collect();
+        let report = ServingReport {
+            policy: self.policy.name().to_owned(),
+            seed,
+            offered: self.offered,
+            completed: self.completed,
+            slo_violations: self.violations,
+            shed: self.shed,
+            retries: self.retries,
+            makespan_us,
+            throughput_jps: throughput,
+            sojourn: LatencyStats::from_samples(&self.sojourns),
+            sojourn_by_class: [
+                LatencyStats::from_samples(&self.sojourns_by_class[0]),
+                LatencyStats::from_samples(&self.sojourns_by_class[1]),
+                LatencyStats::from_samples(&self.sojourns_by_class[2]),
+            ],
+            servers,
+        };
+        (report, self.log)
+    }
+}
+
+/// Renders an event log as deterministic text, one line per event.
+pub fn render_event_log(log: &[EventRecord]) -> String {
+    let mut out = String::with_capacity(log.len() * 48);
+    for ev in log {
+        out.push_str(&ev.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RoundRobinPolicy;
+    use crate::workload::WorkloadSpec;
+
+    fn core_with(cfg: ServeConfig) -> ServiceCore {
+        ServiceCore::new(
+            cfg,
+            Fleet::table_iv(),
+            CostModel::new(7),
+            Box::new(RoundRobinPolicy::new()),
+        )
+    }
+
+    fn spec_jobs(n: usize) -> Vec<JobSpec> {
+        let mut w = WorkloadSpec::smoke(7);
+        w.jobs = n;
+        w.generate().unwrap()
+    }
+
+    #[test]
+    fn offer_dispatch_complete_roundtrip() {
+        let mut core = core_with(ServeConfig::default());
+        let jobs = spec_jobs(3);
+        for j in &jobs {
+            core.offer(j.clone(), j.arrival_us);
+        }
+        assert_eq!(core.queued(), 3);
+        let started = core.dispatch(&[0, 1, 2, 3, 4], 1_000_000);
+        assert_eq!(started.len(), 3);
+        assert_eq!(core.queued(), 0);
+        for (job, server) in &started {
+            core.complete(job, *server, 1_000_000, 1_500_000);
+        }
+        let (report, log) = core.into_report(7, 1_500_000);
+        assert_eq!(report.offered, 3);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.sojourn.count, 3);
+        assert!(log
+            .iter()
+            .any(|e| matches!(e, EventRecord::Complete { .. })));
+        // 3 arrivals + 3 admits + 3 dispatches + 3 completes.
+        assert_eq!(log.len(), 12);
+    }
+
+    #[test]
+    fn timeout_requeues_then_exhausts() {
+        let mut core = core_with(ServeConfig {
+            max_retries: 1,
+            ..ServeConfig::default()
+        });
+        let jobs = spec_jobs(1);
+        core.offer(jobs[0].clone(), 0);
+        let started = core.dispatch(&[0], 10);
+        let (job, server) = started.into_iter().next().unwrap();
+        assert_eq!(job.attempts, 1);
+        core.timeout(job, server, 10, 20);
+        assert_eq!(core.queued(), 1, "first timeout re-queues");
+        let started = core.dispatch(&[1], 30);
+        let (job, server) = started.into_iter().next().unwrap();
+        assert_eq!(job.attempts, 2);
+        core.timeout(job, server, 30, 40);
+        assert_eq!(core.queued(), 0, "retry budget spent");
+        let (report, _) = core.into_report(7, 40);
+        assert_eq!(report.shed[ShedReason::RetriesExhausted as usize], 1);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn late_completion_counts_as_violation() {
+        let mut core = core_with(ServeConfig::default());
+        let mut jobs = spec_jobs(1);
+        jobs[0].deadline_us = 5;
+        core.offer(jobs[0].clone(), 0);
+        let started = core.dispatch(&[0], 1);
+        let (job, server) = started.into_iter().next().unwrap();
+        core.complete(&job, server, 1, 100);
+        let (report, _) = core.into_report(7, 100);
+        assert_eq!(report.slo_violations, 1);
+        assert!(report.violation_rate() > 0.99);
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_at_dispatch() {
+        let mut core = core_with(ServeConfig::default());
+        let mut jobs = spec_jobs(2);
+        jobs[0].deadline_us = 5;
+        jobs[1].deadline_us = u64::MAX;
+        for j in &jobs {
+            core.offer(j.clone(), 0);
+        }
+        let started = core.dispatch(&[0], 10);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].0.spec.id, jobs[1].id);
+        let (report, _) = core.into_report(7, 10);
+        assert_eq!(report.shed[ShedReason::Expired as usize], 1);
+    }
+
+    #[test]
+    fn event_log_can_be_disabled() {
+        let mut core = core_with(ServeConfig {
+            collect_event_log: false,
+            ..ServeConfig::default()
+        });
+        let jobs = spec_jobs(2);
+        for j in &jobs {
+            core.offer(j.clone(), j.arrival_us);
+        }
+        assert!(core.event_log().is_empty());
+        let (report, log) = core.into_report(7, 100);
+        assert!(log.is_empty());
+        assert_eq!(report.offered, 2);
+    }
+
+    #[test]
+    fn render_event_log_is_line_per_event() {
+        let mut core = core_with(ServeConfig::default());
+        let jobs = spec_jobs(1);
+        core.offer(jobs[0].clone(), 0);
+        let text = render_event_log(core.event_log());
+        assert_eq!(text.lines().count(), 2); // arrive + admit
+        assert!(text.contains("arrive"));
+        assert!(text.contains("admit"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The deterministic discrete-event fleet engine.
+//!
+//! Arrivals come from a pre-generated trace; service times come from
+//! [`CostModel::true_us`], which is a pure function of `(seed, job,
+//! server)`. The event heap orders by `(time, sequence)` so ties break
+//! identically run-to-run; given the same workload, fleet and policy, two
+//! runs produce byte-identical event logs, assignment vectors and reports.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vtx_telemetry::Span;
+
+use crate::cost::CostModel;
+use crate::error::ServeError;
+use crate::fleet::Fleet;
+use crate::policy::DispatchPolicy;
+use crate::queue::PendingJob;
+use crate::report::ServingReport;
+use crate::service::{EventRecord, ServeConfig, ServiceCore};
+use crate::workload::{JobSpec, WorkloadSpec};
+
+/// What a simulated serving run produced.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Aggregate statistics.
+    pub report: ServingReport,
+    /// Full event log (when enabled in [`ServeConfig`]).
+    pub event_log: Vec<EventRecord>,
+    /// `(job id, server)` pairs in dispatch order.
+    pub assignments: Vec<(u64, usize)>,
+}
+
+/// Heap payload. `Finish` carries everything needed to book the job so the
+/// engine never looks anything up out of order.
+#[derive(Debug)]
+enum SimEvent {
+    Arrive(JobSpec),
+    Finish {
+        job: PendingJob,
+        server: usize,
+        started_us: u64,
+        timed_out: bool,
+    },
+}
+
+/// Runs a workload through a fleet under a policy, fully simulated.
+///
+/// # Errors
+///
+/// Returns [`ServeError::EmptyWorkload`] for an empty trace and
+/// [`ServeError::UnknownVideo`] when a job names a video the cost model
+/// cannot price.
+pub fn simulate(
+    workload: &WorkloadSpec,
+    fleet: Fleet,
+    policy: Box<dyn DispatchPolicy>,
+    cfg: ServeConfig,
+) -> Result<SimOutcome, ServeError> {
+    let jobs = workload.generate()?;
+    simulate_trace(&jobs, workload.seed, fleet, policy, cfg)
+}
+
+/// Runs a pre-generated (or hand-written / parsed) trace.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_trace(
+    jobs: &[JobSpec],
+    seed: u64,
+    fleet: Fleet,
+    policy: Box<dyn DispatchPolicy>,
+    cfg: ServeConfig,
+) -> Result<SimOutcome, ServeError> {
+    if jobs.is_empty() {
+        return Err(ServeError::EmptyWorkload);
+    }
+    let model = CostModel::new(seed);
+    for j in jobs {
+        if !model.knows(&j.task.video) {
+            return Err(ServeError::UnknownVideo {
+                name: j.task.video.clone(),
+            });
+        }
+    }
+    let _span = Span::enter_with("serve/simulate", |a| {
+        a.u64("jobs", jobs.len() as u64);
+        a.u64("seed", seed);
+    });
+
+    let mut core = ServiceCore::new(cfg, fleet, model, policy);
+    let n_servers = core.fleet().len();
+    let mut busy = vec![false; n_servers];
+
+    // min-heap on (time, seq); seq is a tie-breaker making pop order total.
+    let mut heap: BinaryHeap<Reverse<(u64, u64, SimEventBox)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    for j in jobs {
+        heap.push(Reverse((
+            j.arrival_us,
+            seq,
+            SimEventBox(SimEvent::Arrive(j.clone())),
+        )));
+        seq += 1;
+    }
+
+    let mut now: u64 = 0;
+    while let Some(Reverse((t, _, SimEventBox(ev)))) = heap.pop() {
+        now = t;
+        match ev {
+            SimEvent::Arrive(spec) => {
+                core.offer(spec, now);
+            }
+            SimEvent::Finish {
+                job,
+                server,
+                started_us,
+                timed_out,
+            } => {
+                busy[server] = false;
+                if timed_out {
+                    core.timeout(job, server, started_us, now);
+                } else {
+                    core.complete(&job, server, started_us, now);
+                }
+            }
+        }
+        // Every state change is a dispatch opportunity.
+        let idle: Vec<usize> = (0..n_servers).filter(|&s| !busy[s]).collect();
+        for (job, server) in core.dispatch(&idle, now) {
+            busy[server] = true;
+            let true_us = core
+                .model()
+                .true_us(&job.spec, server, core.fleet().server(server));
+            // A run longer than the job's timeout is killed at the timeout
+            // mark; the server is occupied (and billed) until then.
+            let (dur, timed_out) = if true_us > job.spec.timeout_us {
+                (job.spec.timeout_us, true)
+            } else {
+                (true_us, false)
+            };
+            heap.push(Reverse((
+                now.saturating_add(dur),
+                seq,
+                SimEventBox(SimEvent::Finish {
+                    job,
+                    server,
+                    started_us: now,
+                    timed_out,
+                }),
+            )));
+            seq += 1;
+        }
+    }
+
+    let assignments = core.assignments().to_vec();
+    let (report, event_log) = core.into_report(seed, now);
+    Ok(SimOutcome {
+        report,
+        event_log,
+        assignments,
+    })
+}
+
+/// Wrapper giving [`SimEvent`] the `Ord` the heap needs without imposing a
+/// semantic order on events themselves: the `(time, seq)` prefix of the
+/// tuple always differs (seq is unique), so this comparison never runs.
+#[derive(Debug)]
+struct SimEventBox(SimEvent);
+
+impl PartialEq for SimEventBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for SimEventBox {}
+impl PartialOrd for SimEventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimEventBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::policy_by_name;
+    use crate::service::render_event_log;
+
+    fn run(policy: &str, seed: u64) -> SimOutcome {
+        let w = WorkloadSpec::smoke(seed);
+        simulate(
+            &w,
+            Fleet::table_iv(),
+            policy_by_name(policy, seed).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_offered_job_is_accounted_for() {
+        for policy in ["random", "rr", "smart"] {
+            let out = run(policy, 42);
+            let r = &out.report;
+            assert_eq!(r.offered, 60, "{policy}");
+            assert_eq!(
+                r.completed + r.shed_total(),
+                r.offered,
+                "{policy}: every job completes or is shed"
+            );
+            assert_eq!(r.sojourn.count, r.completed);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_are_byte_identical() {
+        for policy in ["random", "smart"] {
+            let a = run(policy, 42);
+            let b = run(policy, 42);
+            assert_eq!(a.assignments, b.assignments, "{policy}");
+            assert_eq!(a.report, b.report, "{policy}");
+            assert_eq!(
+                render_event_log(&a.event_log),
+                render_event_log(&b.event_log),
+                "{policy}"
+            );
+            assert_eq!(a.report.render(), b.report.render(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run("smart", 42);
+        let b = run("smart", 43);
+        assert_ne!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        let err = simulate_trace(
+            &[],
+            1,
+            Fleet::table_iv(),
+            policy_by_name("rr", 1).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ServeError::EmptyWorkload);
+    }
+
+    #[test]
+    fn unknown_video_is_rejected() {
+        let w = WorkloadSpec::smoke(1);
+        let mut jobs = w.generate().unwrap();
+        jobs[0].task.video = "not-in-vbench".to_owned();
+        let err = simulate_trace(
+            &jobs,
+            1,
+            Fleet::table_iv(),
+            policy_by_name("rr", 1).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownVideo { .. }));
+    }
+
+    #[test]
+    fn makespan_covers_the_last_event() {
+        let out = run("rr", 7);
+        let last = out
+            .event_log
+            .iter()
+            .map(EventRecord::time_us)
+            .max()
+            .unwrap();
+        assert_eq!(out.report.makespan_us, last);
+        assert!(out.report.throughput_jps > 0.0);
+    }
+
+    #[test]
+    fn tiny_queues_shed_under_load() {
+        let w = WorkloadSpec::smoke(42);
+        let cfg = ServeConfig {
+            queue: crate::queue::QueueConfig {
+                per_class_cap: [1, 1, 1],
+            },
+            ..ServeConfig::default()
+        };
+        let out = simulate(
+            &w,
+            Fleet::table_iv(),
+            policy_by_name("rr", 42).unwrap(),
+            cfg,
+        )
+        .unwrap();
+        assert!(
+            out.report.shed_total() > 0,
+            "1-deep queues under a 60-job burst must shed"
+        );
+    }
+}

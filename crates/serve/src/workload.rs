@@ -1,0 +1,368 @@
+//! Open-loop load generation: reproducible arrival traces over the vbench
+//! catalog and the x264 presets.
+//!
+//! The generator is *open-loop* (arrivals do not react to service), which is
+//! how production transcoding traffic behaves — uploads keep coming whether
+//! or not the fleet is keeping up — and the regime in which tail latency and
+//! shedding are actually stressed. A [`WorkloadSpec`] plus a seed fully
+//! determines the trace: Poisson arrivals via inverse-CDF exponential
+//! inter-arrival times, job parameters drawn from explicit choice lists,
+//! priorities from an explicit mix. The rendered trace format is one line
+//! per job (see [`render_trace`]) and round-trips through [`parse_trace`].
+
+use serde::{Deserialize, Serialize};
+
+use vtx_codec::Preset;
+use vtx_sched::TranscodeTask;
+
+use crate::error::ServeError;
+use crate::rng::SplitMix64;
+
+/// Service classes, highest priority first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Live/interactive transcodes: tight deadline, never queued for long.
+    Interactive,
+    /// Standard VOD ingest.
+    Standard,
+    /// Bulk re-encodes, library migrations: loose deadline, shed first.
+    Batch,
+}
+
+impl Priority {
+    /// All classes, dispatch order (highest first).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Stable index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Short name used in traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parses a class name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|p| p.name() == s)
+    }
+}
+
+/// One job of an arrival trace: a transcoding task plus its service-level
+/// envelope. Times are absolute simulated microseconds from trace start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique, dense id (position in the trace).
+    pub id: u64,
+    /// Arrival time in microseconds from trace start.
+    pub arrival_us: u64,
+    /// What to transcode.
+    pub task: TranscodeTask,
+    /// Service class.
+    pub priority: Priority,
+    /// Absolute completion deadline; finishing later is an SLO violation,
+    /// still being *queued* past it gets the job shed.
+    pub deadline_us: u64,
+    /// Per-attempt service cap: an attempt running longer is killed and the
+    /// job retried (up to the configured retry budget).
+    pub timeout_us: u64,
+}
+
+/// Everything that determines an arrival trace. Two equal specs generate
+/// byte-identical traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Master seed: arrivals, parameter draws and service noise all derive
+    /// from it.
+    pub seed: u64,
+    /// Mean arrival rate in jobs per second (open loop).
+    pub arrival_rate_hz: f64,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Candidate videos (vbench short names).
+    pub videos: Vec<String>,
+    /// Candidate presets.
+    pub presets: Vec<Preset>,
+    /// Candidate CRF values.
+    pub crf_choices: Vec<u8>,
+    /// Candidate reference-frame counts.
+    pub refs_choices: Vec<u8>,
+    /// Priority mix (weights for interactive/standard/batch).
+    pub mix: [f64; 3],
+    /// Per-class deadline budget (microseconds after arrival).
+    pub slo_budget_us: [u64; 3],
+    /// Per-class per-attempt timeout in microseconds.
+    pub timeout_us: [u64; 3],
+}
+
+impl WorkloadSpec {
+    /// The bundled benchmark scenario: a mixed diurnal-peak trace sized so a
+    /// five-server Table IV fleet runs at ~80% utilization — busy enough
+    /// that queueing (and therefore placement quality) dominates the tail.
+    pub fn bundled(seed: u64) -> Self {
+        WorkloadSpec {
+            seed,
+            arrival_rate_hz: 2.4,
+            jobs: 400,
+            videos: vec![
+                "desktop".into(),
+                "presentation".into(),
+                "bike".into(),
+                "game2".into(),
+                "holi".into(),
+                "cat".into(),
+                "girl".into(),
+                "hall".into(),
+            ],
+            presets: vec![
+                Preset::Ultrafast,
+                Preset::Veryfast,
+                Preset::Faster,
+                Preset::Medium,
+                Preset::Slow,
+            ],
+            crf_choices: vec![18, 23, 28, 35],
+            refs_choices: vec![1, 3, 6],
+            mix: [0.2, 0.55, 0.25],
+            slo_budget_us: [2_500_000, 6_000_000, 20_000_000],
+            timeout_us: [4_000_000, 10_000_000, 30_000_000],
+        }
+    }
+
+    /// A small scenario for smoke tests and CI (same shape, 60 jobs).
+    pub fn smoke(seed: u64) -> Self {
+        WorkloadSpec {
+            jobs: 60,
+            ..Self::bundled(seed)
+        }
+    }
+
+    /// A tiny real-executor scenario: few jobs, fast presets only (these
+    /// run *actual* transcodes, so the work per job must stay test-sized).
+    pub fn real_smoke(seed: u64) -> Self {
+        WorkloadSpec {
+            seed,
+            arrival_rate_hz: 4.0,
+            jobs: 6,
+            videos: vec!["desktop".into(), "cat".into()],
+            presets: vec![Preset::Ultrafast, Preset::Veryfast],
+            crf_choices: vec![23, 35],
+            refs_choices: vec![1, 2],
+            mix: [0.3, 0.5, 0.2],
+            slo_budget_us: [2_500_000, 6_000_000, 20_000_000],
+            timeout_us: [60_000_000, 60_000_000, 60_000_000],
+        }
+    }
+
+    /// Generates the arrival trace this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::EmptyWorkload`] when `jobs` is 0 or any choice
+    /// list is empty.
+    pub fn generate(&self) -> Result<Vec<JobSpec>, ServeError> {
+        if self.jobs == 0
+            || self.videos.is_empty()
+            || self.presets.is_empty()
+            || self.crf_choices.is_empty()
+            || self.refs_choices.is_empty()
+        {
+            return Err(ServeError::EmptyWorkload);
+        }
+        let mut rng = SplitMix64::new(self.seed);
+        let mean_gap_s = 1.0 / self.arrival_rate_hz.max(1e-9);
+        let mut t_us = 0u64;
+        let mut jobs = Vec::with_capacity(self.jobs);
+        for id in 0..self.jobs as u64 {
+            t_us += (rng.next_exp(mean_gap_s) * 1e6).round() as u64;
+            let video = &self.videos[rng.next_range(self.videos.len() as u64) as usize];
+            let preset = self.presets[rng.next_range(self.presets.len() as u64) as usize];
+            let crf = self.crf_choices[rng.next_range(self.crf_choices.len() as u64) as usize];
+            let refs = self.refs_choices[rng.next_range(self.refs_choices.len() as u64) as usize];
+            let priority = Priority::ALL[rng.pick_weighted(&self.mix)];
+            let k = priority.index();
+            jobs.push(JobSpec {
+                id,
+                arrival_us: t_us,
+                task: TranscodeTask::new(video, crf, refs, preset),
+                priority,
+                deadline_us: t_us + self.slo_budget_us[k],
+                timeout_us: self.timeout_us[k],
+            });
+        }
+        Ok(jobs)
+    }
+}
+
+/// Renders an arrival trace in the documented one-line-per-job format:
+///
+/// ```text
+/// # id arrival_us class video crf refs preset deadline_us timeout_us
+/// 0 417322 standard bike 23 3 medium 6417322 10000000
+/// ```
+pub fn render_trace(jobs: &[JobSpec]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("# id arrival_us class video crf refs preset deadline_us timeout_us\n");
+    for j in jobs {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {} {} {}",
+            j.id,
+            j.arrival_us,
+            j.priority.name(),
+            j.task.video,
+            j.task.crf,
+            j.task.refs,
+            j.task.preset.name(),
+            j.deadline_us,
+            j.timeout_us
+        );
+    }
+    out
+}
+
+/// Parses the format written by [`render_trace`]. Lines starting with `#`
+/// and blank lines are ignored.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Trace`] with the offending line number.
+pub fn parse_trace(text: &str) -> Result<Vec<JobSpec>, ServeError> {
+    let mut jobs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: &str| ServeError::Trace {
+            line: i + 1,
+            message: message.to_owned(),
+        };
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() != 9 {
+            return Err(err(&format!("expected 9 fields, got {}", f.len())));
+        }
+        let parse_u64 =
+            |s: &str, what: &str| s.parse::<u64>().map_err(|_| err(&format!("bad {what}")));
+        let parse_u8 =
+            |s: &str, what: &str| s.parse::<u8>().map_err(|_| err(&format!("bad {what}")));
+        let priority = Priority::from_name(f[2]).ok_or_else(|| err("unknown class"))?;
+        let preset = Preset::from_name(f[6]).ok_or_else(|| err("unknown preset"))?;
+        jobs.push(JobSpec {
+            id: parse_u64(f[0], "id")?,
+            arrival_us: parse_u64(f[1], "arrival_us")?,
+            task: TranscodeTask::new(
+                f[3],
+                parse_u8(f[4], "crf")?,
+                parse_u8(f[5], "refs")?,
+                preset,
+            ),
+            priority,
+            deadline_us: parse_u64(f[7], "deadline_us")?,
+            timeout_us: parse_u64(f[8], "timeout_us")?,
+        });
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::bundled(42);
+        let a = spec.generate().unwrap();
+        let b = spec.generate().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 400);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadSpec::smoke(1).generate().unwrap();
+        let b = WorkloadSpec::smoke(2).generate().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_monotonic_and_deadlines_follow_class() {
+        let spec = WorkloadSpec::bundled(7);
+        let jobs = spec.generate().unwrap();
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival_us <= w[1].arrival_us);
+        }
+        for j in &jobs {
+            let k = j.priority.index();
+            assert_eq!(j.deadline_us, j.arrival_us + spec.slo_budget_us[k]);
+            assert_eq!(j.timeout_us, spec.timeout_us[k]);
+        }
+    }
+
+    #[test]
+    fn mean_rate_roughly_matches_spec() {
+        let spec = WorkloadSpec {
+            jobs: 5000,
+            ..WorkloadSpec::bundled(11)
+        };
+        let jobs = spec.generate().unwrap();
+        let span_s = jobs.last().unwrap().arrival_us as f64 / 1e6;
+        let rate = jobs.len() as f64 / span_s;
+        assert!(
+            (rate - spec.arrival_rate_hz).abs() / spec.arrival_rate_hz < 0.1,
+            "rate {rate} vs {}",
+            spec.arrival_rate_hz
+        );
+    }
+
+    #[test]
+    fn all_classes_appear_in_the_bundled_mix() {
+        let jobs = WorkloadSpec::bundled(42).generate().unwrap();
+        for p in Priority::ALL {
+            assert!(jobs.iter().any(|j| j.priority == p), "{:?} missing", p);
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips() {
+        let jobs = WorkloadSpec::smoke(42).generate().unwrap();
+        let text = render_trace(&jobs);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(jobs, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(matches!(
+            parse_trace("0 1 standard bike 23 3"),
+            Err(ServeError::Trace { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_trace("# ok\n0 1 vip bike 23 3 medium 5 6"),
+            Err(ServeError::Trace { line: 2, .. })
+        ));
+        assert!(parse_trace("# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_choice_lists_are_rejected() {
+        let mut spec = WorkloadSpec::smoke(1);
+        spec.videos.clear();
+        assert_eq!(spec.generate(), Err(ServeError::EmptyWorkload));
+        let spec = WorkloadSpec {
+            jobs: 0,
+            ..WorkloadSpec::smoke(1)
+        };
+        assert_eq!(spec.generate(), Err(ServeError::EmptyWorkload));
+    }
+}

@@ -124,9 +124,14 @@ impl Histogram {
         for (i, &c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // Upper bound of bucket i: 2^i - 1 values-wise; report 2^(i)-1
-                // for i = 0 (zeros) this is 0.
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                // Upper bound of bucket i: 2^i - 1 (0 for the zero bucket);
+                // bucket 64 covers up to u64::MAX, where 1 << 64 would
+                // overflow.
+                return match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
             }
         }
         u64::MAX
@@ -347,6 +352,82 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero_for_all_q() {
+        let h = Histogram::new();
+        for q in [0.001, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        for v in [0u64, 1, 2, 3, 1000, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            // Upper bound of v's bucket; bucket 64 saturates at u64::MAX.
+            let expect = match bucket_of(v) {
+                0 => 0,
+                64 => u64::MAX,
+                b => (1u64 << b) - 1,
+            };
+            for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), expect, "v={v} q={q}");
+            }
+            let s = h.summary();
+            assert_eq!(s.count, 1);
+            if v < u64::MAX {
+                assert_eq!(s.mean, v as f64);
+            }
+            assert_eq!((s.p50, s.p90, s.p99), (expect, expect, expect));
+        }
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        // Samples 1, 2, 4 land in buckets 1, 2, 3 with upper bounds 1, 3, 7.
+        let h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(4);
+        // Ranks: q<=1/3 -> bucket 1, q<=2/3 -> bucket 2, else bucket 3.
+        assert_eq!(h.quantile(0.33), 1);
+        assert_eq!(h.quantile(0.34), 3); // ceil(0.34*3)=2nd sample
+        assert_eq!(h.quantile(0.66), 3);
+        assert_eq!(h.quantile(0.67), 7);
+        assert_eq!(h.quantile(1.0), 7);
+        // A power of two sits in the bucket *above* its predecessor: the
+        // boundary value 4 must never be reported as 3.
+        let hb = Histogram::new();
+        hb.record(4);
+        assert!(hb.quantile(0.5) >= 4);
+    }
+
+    #[test]
+    fn zero_samples_stay_in_the_zero_bucket() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        h.record(5);
+        // p50 over 11 samples is a zero; p99 is the 5.
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 7);
+        let s = h.summary();
+        assert_eq!(s.count, 11);
+        assert!((s.mean - 5.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rank_clamps_out_of_range_q() {
+        let h = Histogram::new();
+        h.record(8);
+        // q above 1.0 or far below 1/count still clamps into [1, total].
+        assert_eq!(h.quantile(2.0), 15);
+        assert_eq!(h.quantile(1e-9), 15);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Online serving on a heterogeneous fleet: admission control,
+//! deadline-aware dispatch and load shedding over the Table IV configs.
+//!
+//! Simulated mode (default) is fully deterministic: two runs with the same
+//! seed print byte-identical output — the CI `serve-determinism` job
+//! asserts exactly that. `--real` drives actual `vtx_core::Transcoder`
+//! jobs on worker threads through the same service core (wall-clock, so
+//! not byte-reproducible).
+//!
+//! ```text
+//! cargo run --release --example serve_fleet -- [--seed N] [--smoke]
+//!     [--policy random|rr|smart|all] [--real] [--trace-out FILE]
+//!     [--dump-trace FILE]
+//! ```
+
+use vtx_core::trace_export;
+use vtx_serve::exec::{run_real, ExecConfig};
+use vtx_serve::fleet::Fleet;
+use vtx_serve::policy::policy_by_name;
+use vtx_serve::service::{render_event_log, ServeConfig};
+use vtx_serve::sim::simulate;
+use vtx_serve::workload::{render_trace, WorkloadSpec};
+use vtx_telemetry::Collector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out = trace_export::init_from_env();
+    let mut seed = 42u64;
+    let mut smoke = false;
+    let mut real = false;
+    let mut policy_arg = "all".to_owned();
+    let mut dump_trace: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args.next().ok_or("--seed needs a value")?.parse::<u64>()?;
+            }
+            "--smoke" => smoke = true,
+            "--real" => real = true,
+            "--policy" => {
+                policy_arg = args.next().ok_or("--policy needs a value")?;
+            }
+            "--dump-trace" => {
+                dump_trace = Some(args.next().ok_or("--dump-trace needs a file path")?);
+            }
+            "--trace-out" => {
+                let path = args.next().ok_or("--trace-out needs a file path")?;
+                Collector::enable();
+                trace_out = Some(path);
+            }
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+    }
+
+    let policies: Vec<&str> = match policy_arg.as_str() {
+        "all" => vec!["random", "round_robin", "smart"],
+        name => vec![name],
+    };
+
+    if real {
+        // The real executor replays a small trace with actual transcodes;
+        // arrivals are compressed so the run takes seconds, not minutes.
+        let workload = WorkloadSpec::real_smoke(seed);
+        println!(
+            "real executor: {} jobs over {} videos, fleet = Table IV ({} servers)",
+            workload.jobs,
+            workload.videos.len(),
+            Fleet::table_iv().len()
+        );
+        let cfg = ExecConfig {
+            arrival_compression: 20,
+            ..ExecConfig::default()
+        };
+        for name in policies {
+            let policy =
+                policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
+            let out = run_real(&workload, Fleet::table_iv(), policy, &cfg)?;
+            println!("\n{}", out.report.render());
+        }
+    } else {
+        let workload = if smoke {
+            WorkloadSpec::smoke(seed)
+        } else {
+            WorkloadSpec::bundled(seed)
+        };
+        if let Some(path) = &dump_trace {
+            let jobs = workload.generate()?;
+            std::fs::write(path, render_trace(&jobs))?;
+            println!("wrote {} trace lines to {path}", jobs.len());
+        }
+        println!(
+            "simulated fleet: {} jobs at {} Hz over {} videos, fleet = Table IV ({} servers)",
+            workload.jobs,
+            workload.arrival_rate_hz,
+            workload.videos.len(),
+            Fleet::table_iv().len()
+        );
+        for name in policies {
+            let policy =
+                policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
+            let out = simulate(&workload, Fleet::table_iv(), policy, ServeConfig::default())?;
+            println!("\n{}", out.report.render());
+            if smoke {
+                // The smoke event log is small enough to print whole; the CI
+                // determinism check byte-compares it across runs.
+                println!("event log ({} events):", out.event_log.len());
+                print!("{}", render_event_log(&out.event_log));
+            }
+        }
+    }
+
+    if let Some(path) = trace_out {
+        trace_export::write_chrome_trace(&path)?;
+        println!("\nwrote telemetry trace to {path}");
+    }
+    Ok(())
+}

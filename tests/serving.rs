@@ -1,0 +1,208 @@
+//! Integration tests for the vtx-serve online serving layer: determinism
+//! of the discrete-event engine, the smart-beats-random tail-latency claim,
+//! shedding under pressure, and the real threaded executor driving actual
+//! transcodes through the same service core.
+
+use vtx_serve::exec::{run_real, ExecConfig};
+use vtx_serve::fleet::Fleet;
+use vtx_serve::policy::policy_by_name;
+use vtx_serve::queue::QueueConfig;
+use vtx_serve::service::{render_event_log, ServeConfig};
+use vtx_serve::sim::{simulate, simulate_trace, SimOutcome};
+use vtx_serve::workload::{parse_trace, render_trace, WorkloadSpec};
+
+fn sim(workload: &WorkloadSpec, policy: &str) -> SimOutcome {
+    simulate(
+        workload,
+        Fleet::table_iv(),
+        policy_by_name(policy, workload.seed).unwrap(),
+        ServeConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn engine_is_deterministic_across_policies() {
+    // The acceptance bar: identical seed + workload ⇒ identical event log,
+    // assignment sequence and rendered report — for every policy.
+    let w = WorkloadSpec::smoke(42);
+    for policy in ["random", "round_robin", "smart"] {
+        let a = sim(&w, policy);
+        let b = sim(&w, policy);
+        assert_eq!(a.assignments, b.assignments, "{policy}: assignments");
+        assert_eq!(
+            render_event_log(&a.event_log),
+            render_event_log(&b.event_log),
+            "{policy}: event log"
+        );
+        assert_eq!(a.report.render(), b.report.render(), "{policy}: report");
+    }
+}
+
+#[test]
+fn policies_actually_differ() {
+    let w = WorkloadSpec::smoke(42);
+    let random = sim(&w, "random");
+    let smart = sim(&w, "smart");
+    assert_ne!(
+        random.assignments, smart.assignments,
+        "policies must produce different placements on a heterogeneous fleet"
+    );
+}
+
+#[test]
+fn smart_beats_random_on_p99_sojourn() {
+    // The serving-layer restatement of Fig 9: characterization-driven
+    // placement wins not just on makespan but on tail latency.
+    let w = WorkloadSpec::bundled(42);
+    let random = sim(&w, "random");
+    let smart = sim(&w, "smart");
+    assert!(
+        smart.report.sojourn.p99_us < random.report.sojourn.p99_us,
+        "smart p99 {} should beat random p99 {}",
+        smart.report.sojourn.p99_us,
+        random.report.sojourn.p99_us
+    );
+    assert!(
+        smart.report.sojourn.mean_us < random.report.sojourn.mean_us,
+        "smart mean {} should beat random mean {}",
+        smart.report.sojourn.mean_us,
+        random.report.sojourn.mean_us
+    );
+}
+
+#[test]
+fn tiny_queues_shed_and_interactive_survives() {
+    let w = WorkloadSpec::bundled(42);
+    let cfg = ServeConfig {
+        queue: QueueConfig {
+            per_class_cap: [2, 2, 2],
+        },
+        ..ServeConfig::default()
+    };
+    let out = simulate(
+        &w,
+        Fleet::table_iv(),
+        policy_by_name("smart", w.seed).unwrap(),
+        cfg,
+    )
+    .unwrap();
+    let r = &out.report;
+    assert_eq!(r.completed + r.shed_total(), r.offered, "conservation");
+    assert!(r.shed_total() > 0, "2-deep queues under 2.4 Hz must shed");
+    // Priority shedding: interactive jobs displace batch, never vice versa,
+    // so the interactive completion rate stays above the batch rate.
+    let frac = |class: usize| {
+        let done = r.sojourn_by_class[class].count as f64;
+        done / (done + 1.0) // avoid 0/0; comparison only
+    };
+    assert!(
+        r.sojourn_by_class[0].count > 0,
+        "interactive traffic must get through"
+    );
+    assert!(frac(0) > 0.0 && frac(2) > 0.0);
+}
+
+#[test]
+fn timeouts_retry_deterministically() {
+    // Clamp every timeout low enough that long encodes get killed: the
+    // retry/shed path must be exercised and stay byte-deterministic.
+    let w = WorkloadSpec::smoke(7);
+    let mut jobs = w.generate().unwrap();
+    for j in &mut jobs {
+        j.timeout_us = 1_500_000;
+    }
+    let run = || {
+        simulate_trace(
+            &jobs,
+            w.seed,
+            Fleet::table_iv(),
+            policy_by_name("round_robin", w.seed).unwrap(),
+            ServeConfig {
+                max_retries: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report, b.report);
+    assert_eq!(
+        render_event_log(&a.event_log),
+        render_event_log(&b.event_log)
+    );
+    assert!(a.report.retries > 0, "tight timeouts must trigger retries");
+    assert!(
+        a.report.shed[3] > 0,
+        "some jobs must exhaust the retry budget (shed={:?})",
+        a.report.shed
+    );
+    assert_eq!(
+        a.report.completed + a.report.shed_total(),
+        a.report.offered,
+        "conservation holds through the retry path"
+    );
+}
+
+#[test]
+fn arrival_trace_roundtrips_through_text() {
+    let w = WorkloadSpec::smoke(42);
+    let jobs = w.generate().unwrap();
+    let parsed = parse_trace(&render_trace(&jobs)).unwrap();
+    assert_eq!(jobs, parsed);
+    // A parsed trace replays to the same outcome as the in-memory one.
+    let a = simulate_trace(
+        &jobs,
+        w.seed,
+        Fleet::table_iv(),
+        policy_by_name("smart", w.seed).unwrap(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let b = simulate_trace(
+        &parsed,
+        w.seed,
+        Fleet::table_iv(),
+        policy_by_name("smart", w.seed).unwrap(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(a.report.render(), b.report.render());
+}
+
+#[test]
+fn real_executor_accounts_for_every_job() {
+    // The real path: actual Transcoder jobs on per-server worker threads,
+    // driven through the same ServiceCore as the simulation. Wall-clock
+    // runs are not byte-reproducible; what must hold is conservation and
+    // that real work got done. CI runs this under RUST_TEST_THREADS=1.
+    let w = WorkloadSpec::real_smoke(42);
+    let cfg = ExecConfig {
+        arrival_compression: 50,
+        ..ExecConfig::default()
+    };
+    let out = run_real(
+        &w,
+        Fleet::table_iv(),
+        policy_by_name("smart", w.seed).unwrap(),
+        &cfg,
+    )
+    .unwrap();
+    let r = &out.report;
+    assert_eq!(r.offered, w.jobs as u64);
+    assert_eq!(
+        r.completed + r.shed_total(),
+        r.offered,
+        "every job completes or is shed: {r:?}"
+    );
+    assert!(r.completed > 0, "tiny transcodes must actually complete");
+    assert_eq!(r.sojourn.count, r.completed);
+    assert_eq!(
+        out.assignments.len() as u64,
+        r.completed + r.retries + r.shed[3],
+        "one assignment per dispatch attempt"
+    );
+    let busy: u64 = r.servers.iter().map(|s| s.busy_us).sum();
+    assert!(busy > 0, "servers must have accumulated busy time");
+}

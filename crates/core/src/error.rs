@@ -3,6 +3,7 @@ use std::fmt;
 
 use vtx_codec::CodecError;
 use vtx_frame::FrameError;
+use vtx_port::PortError;
 use vtx_uarch::ConfigError;
 
 /// Errors surfaced by the characterization facade.
@@ -19,6 +20,8 @@ pub enum CoreError {
     Frame(FrameError),
     /// A simulator configuration error occurred.
     Sim(ConfigError),
+    /// A port-model error occurred (unsolvable layout/mix pairing).
+    Port(PortError),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +33,7 @@ impl fmt::Display for CoreError {
             CoreError::Codec(e) => write!(f, "codec error: {e}"),
             CoreError::Frame(e) => write!(f, "frame error: {e}"),
             CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+            CoreError::Port(e) => write!(f, "port-model error: {e}"),
         }
     }
 }
@@ -40,8 +44,15 @@ impl Error for CoreError {
             CoreError::Codec(e) => Some(e),
             CoreError::Frame(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::Port(e) => Some(e),
             CoreError::UnknownVideo { .. } => None,
         }
+    }
+}
+
+impl From<PortError> for CoreError {
+    fn from(e: PortError) -> Self {
+        CoreError::Port(e)
     }
 }
 

@@ -11,11 +11,19 @@
 //!   and the parameter-trend affinity model of
 //!   [`vtx_sched::affinity::predict_benefit`] applied to the server's
 //!   Table IV configuration and speed grade.
+//! * [`CostModel::port_predicted_us`] — the prediction refined by the
+//!   issue-port execution model (`vtx-port`): the job's preset-rank uop mix
+//!   is solved against the server's port layout, and the relief a wider
+//!   layout offers (the `be_op2` column's seventh port) divides the
+//!   predicted time. Factors are precomputed per (config, preset rank) at
+//!   construction, so the refinement costs one table lookup per query.
 //! * [`CostModel::true_us`] — what the discrete-event engine bills: the
-//!   prediction times deterministic lognormal-ish noise that is a pure
-//!   function of `(seed, job, server)`. Truth never depends on the policy
-//!   or on dispatch order, so policies compete on identical ground and any
-//!   run is exactly reproducible.
+//!   *port-refined* prediction times deterministic lognormal-ish noise that
+//!   is a pure function of `(seed, job, server)`. Truth never depends on
+//!   the policy or on dispatch order, so policies compete on identical
+//!   ground and any run is exactly reproducible — and a policy that ranks
+//!   by the port-refined prediction optimizes the billed objective exactly,
+//!   while port-blind policies optimize an approximation of it.
 
 use std::collections::BTreeMap;
 
@@ -23,8 +31,10 @@ use serde::{Deserialize, Serialize};
 
 use vtx_codec::Preset;
 use vtx_frame::vbench;
+use vtx_port::{dispatch_bound, UopMix};
 use vtx_sched::affinity::predict_benefit;
 use vtx_sched::TranscodeTask;
+use vtx_uarch::config::UarchConfig;
 
 use crate::fleet::ServerSpec;
 use crate::rng::{derive, SplitMix64};
@@ -53,8 +63,16 @@ pub struct CostModel {
     pub sigma_job: f64,
     /// Lognormal sigma of the per-(job, server) residual.
     pub sigma_pair: f64,
+    /// Multiplier on the port-model relief: how strongly a wider port
+    /// layout shortens a port-bound job. 1.0 = take the solver at its word.
+    pub port_gain: f64,
     /// Catalog cache: video short name → (pixels per clip, entropy).
     catalog: BTreeMap<String, (f64, f64)>,
+    /// Precomputed port relief per (config name → preset rank): the
+    /// relative dispatch-bound gain of that config's port layout over the
+    /// baseline layout for the rank's dominant-kernel uop mix (0 when the
+    /// layouts are identical).
+    port_relief: BTreeMap<String, [f64; 10]>,
 }
 
 impl CostModel {
@@ -70,12 +88,28 @@ impl CostModel {
                 (v.short_name, (px, v.entropy))
             })
             .collect();
+        let baseline = UarchConfig::baseline();
+        let mut port_relief = BTreeMap::new();
+        for cfg in UarchConfig::table_iv() {
+            let mut reliefs = [0.0f64; 10];
+            for (rank, r) in reliefs.iter_mut().enumerate() {
+                let mix = UopMix::for_preset_rank(rank);
+                if let (Ok(base), Ok(here)) =
+                    (dispatch_bound(&baseline, &mix), dispatch_bound(&cfg, &mix))
+                {
+                    *r = ((here - base) / base.max(f64::MIN_POSITIVE)).max(0.0);
+                }
+            }
+            port_relief.insert(cfg.name.clone(), reliefs);
+        }
         CostModel {
             seed,
             affinity_gain: 2.5,
             sigma_job: 0.45,
             sigma_pair: 0.30,
+            port_gain: 1.0,
             catalog,
+            port_relief,
         }
     }
 
@@ -118,10 +152,35 @@ impl CostModel {
         ((secs * 1e6).round() as u64).max(1)
     }
 
-    /// The engine-billed truth in microseconds: prediction × job surprise ×
-    /// pair residual. Pure in `(seed, job.id, server index)`.
+    /// The port-model speedup factor (`<= 1.0`) for this (job, server)
+    /// pair: how much the server's port layout shortens the job relative to
+    /// the baseline layout, for the job's preset-rank uop mix. 1.0 for
+    /// every layout identical to the baseline (only the core-widened
+    /// `be_op2` differs) and for unknown configs.
+    pub fn port_factor(&self, job: &JobSpec, server: &ServerSpec) -> f64 {
+        let rank = Preset::ALL
+            .iter()
+            .position(|&p| p == job.task.preset)
+            .unwrap_or(5);
+        let relief = self
+            .port_relief
+            .get(&server.uarch.name)
+            .map_or(0.0, |r| r[rank]);
+        1.0 / (1.0 + self.port_gain * relief)
+    }
+
+    /// The port-refined prediction in microseconds (≥ 1):
+    /// [`CostModel::predicted_us`] × [`CostModel::port_factor`].
+    pub fn port_predicted_us(&self, job: &JobSpec, server: &ServerSpec) -> u64 {
+        let refined = self.predicted_us(job, server) as f64 * self.port_factor(job, server);
+        (refined.round() as u64).max(1)
+    }
+
+    /// The engine-billed truth in microseconds: port-refined prediction ×
+    /// job surprise × pair residual. Pure in `(seed, job.id, server
+    /// index)`.
     pub fn true_us(&self, job: &JobSpec, server_idx: usize, server: &ServerSpec) -> u64 {
-        let predicted = self.predicted_us(job, server) as f64;
+        let predicted = self.port_predicted_us(job, server) as f64;
         let job_noise = lognormalish(
             derive(self.seed, job.id.wrapping_mul(2) + 1),
             self.sigma_job,
@@ -232,6 +291,52 @@ mod tests {
         let mean_ratio = ratio_sum / jobs.len() as f64;
         // exp(sigma²/2) bias of the lognormal noise stays near 1.
         assert!((0.8..1.6).contains(&mean_ratio), "mean ratio {mean_ratio}");
+    }
+
+    #[test]
+    fn port_factor_discounts_only_the_widened_core() {
+        let m = CostModel::new(42);
+        let f = Fleet::table_iv();
+        let j = job("bike", 23, 3, Preset::Slower); // SATD/trellis-heavy rank
+        for s in f.servers() {
+            let factor = m.port_factor(&j, s);
+            assert!(
+                factor <= 1.0 + 1e-12 && factor > 0.5,
+                "{}: {factor}",
+                s.name
+            );
+            if s.uarch.name == "be_op2" {
+                assert!(factor < 1.0, "be_op2's 7th port must discount");
+                assert!(m.port_predicted_us(&j, s) < m.predicted_us(&j, s));
+            } else {
+                assert!((factor - 1.0).abs() < 1e-12, "{}: {factor}", s.name);
+                assert_eq!(m.port_predicted_us(&j, s), m.predicted_us(&j, s));
+            }
+        }
+    }
+
+    #[test]
+    fn truth_bills_the_port_refined_prediction() {
+        let m = CostModel::new(42);
+        let f = Fleet::table_iv();
+        let j = job("bike", 23, 3, Preset::Veryslow);
+        let be_op2 = f
+            .servers()
+            .iter()
+            .position(|s| s.uarch.name == "be_op2")
+            .unwrap();
+        // Zeroing the port gain must raise the billed time on be_op2 (the
+        // refinement is inside the truth, not just the prediction).
+        let mut blind = m.clone();
+        blind.port_gain = 0.0;
+        let with_ports = m.true_us(&j, be_op2, f.server(be_op2));
+        let without = blind.true_us(&j, be_op2, f.server(be_op2));
+        assert!(with_ports < without, "{with_ports} vs {without}");
+        // On a baseline-layout server the two models agree exactly.
+        assert_eq!(
+            m.true_us(&j, 1, f.server(1)),
+            blind.true_us(&j, 1, f.server(1))
+        );
     }
 
     #[test]

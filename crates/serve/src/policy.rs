@@ -187,12 +187,69 @@ impl DispatchPolicy for SmartPolicy {
     }
 }
 
-/// Builds a policy by name (`random`, `round_robin`/`rr`, `smart`).
+/// The port-informed policy: like [`SmartPolicy`] but ranking by the
+/// port-refined prediction ([`CostModel::port_predicted_us`]). The engine
+/// bills the port-refined cost, so this policy minimizes the true objective
+/// while `smart` minimizes a port-blind approximation of it — the
+/// difference shows up on fleets whose `be_op2` column offers port relief
+/// that the flat affinity model cannot see.
+#[derive(Debug, Default)]
+pub struct PortPolicy;
+
+impl PortPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        PortPolicy
+    }
+}
+
+impl DispatchPolicy for PortPolicy {
+    fn name(&self) -> &'static str {
+        "port"
+    }
+
+    fn assign(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &[usize],
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        if jobs.is_empty() || idle.is_empty() {
+            return Vec::new();
+        }
+        let cost: Vec<Vec<f64>> = jobs
+            .iter()
+            .map(|j| {
+                idle.iter()
+                    .map(|&s| ctx.model.port_predicted_us(&j.spec, ctx.fleet.server(s)) as f64)
+                    .collect()
+            })
+            .collect();
+        match hungarian::solve_padded(&cost) {
+            Ok(assignment) => assignment
+                .into_iter()
+                .enumerate()
+                .filter_map(|(job_pos, slot)| slot.map(|idle_pos| (job_pos, idle_pos)))
+                .collect(),
+            // Same defensive fallback as SmartPolicy: never crash the
+            // serving loop on a solver bug.
+            Err(_) => jobs
+                .iter()
+                .enumerate()
+                .take(idle.len())
+                .map(|(i, _)| (i, i))
+                .collect(),
+        }
+    }
+}
+
+/// Builds a policy by name (`random`, `round_robin`/`rr`, `smart`, `port`).
 pub fn policy_by_name(name: &str, seed: u64) -> Option<Box<dyn DispatchPolicy>> {
     match name {
         "random" => Some(Box::new(RandomPolicy::new(seed))),
         "round_robin" | "rr" => Some(Box::new(RoundRobinPolicy::new())),
         "smart" => Some(Box::new(SmartPolicy::new())),
+        "port" => Some(Box::new(PortPolicy::new())),
         _ => None,
     }
 }
@@ -239,6 +296,7 @@ mod tests {
             Box::new(RandomPolicy::new(1)) as Box<dyn DispatchPolicy>,
             Box::new(RoundRobinPolicy::new()),
             Box::new(SmartPolicy::new()),
+            Box::new(PortPolicy::new()),
         ] {
             let a = p.assign(&refs, &idle, &ctx(&fleet, &model));
             assert_eq!(a.len(), 3, "{} should fill all idle servers", p.name());
@@ -321,6 +379,27 @@ mod tests {
         assert_eq!(policy_by_name("random", 1).unwrap().name(), "random");
         assert_eq!(policy_by_name("rr", 1).unwrap().name(), "round_robin");
         assert_eq!(policy_by_name("smart", 1).unwrap().name(), "smart");
+        assert_eq!(policy_by_name("port", 1).unwrap().name(), "port");
         assert!(policy_by_name("oracle", 1).is_none());
+    }
+
+    #[test]
+    fn port_policy_picks_the_billed_fastest_server() {
+        let fleet = Fleet::table_iv();
+        let model = CostModel::new(42);
+        // Slow preset → SATD/trellis-heavy mix → be_op2's extra port pays.
+        let j = pending(0, "bike", Preset::Veryslow);
+        let refs = vec![&j];
+        let idle = vec![0, 1, 2, 3, 4];
+        let mut p = PortPolicy::new();
+        let a = p.assign(&refs, &idle, &ctx(&fleet, &model));
+        assert_eq!(a.len(), 1);
+        let picked = idle[a[0].1];
+        let best = idle
+            .iter()
+            .copied()
+            .min_by_key(|&s| model.port_predicted_us(&j.spec, fleet.server(s)))
+            .unwrap();
+        assert_eq!(picked, best);
     }
 }

@@ -48,6 +48,7 @@ mod clock;
 mod collector;
 pub mod flame;
 pub mod metrics;
+pub mod ports;
 pub mod progress;
 pub mod ring;
 mod span;

@@ -172,6 +172,30 @@ impl UarchConfig {
         }
         Ok(())
     }
+
+    /// `try_`-style finisher for hand-built configs: validates and returns
+    /// the config by value, so struct-update construction can end in one
+    /// fallible call instead of a separate `validate()` the caller may
+    /// forget:
+    ///
+    /// ```
+    /// # use vtx_uarch::config::UarchConfig;
+    /// let cfg = UarchConfig {
+    ///     rob_size: 192,
+    ///     ..UarchConfig::baseline()
+    /// }
+    /// .validated()
+    /// .expect("geometry is sound");
+    /// assert_eq!(cfg.rob_size, 192);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] of [`UarchConfig::validate`].
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        self.validate()?;
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +243,25 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
         assert_eq!(UarchConfig::modified_configs().len(), 4);
+    }
+
+    #[test]
+    fn validated_accepts_sound_and_rejects_zero_geometry() {
+        assert!(UarchConfig::baseline().validated().is_ok());
+        for field in ["rob_size", "rs_size", "sb_size", "dispatch_width"] {
+            let mut cfg = UarchConfig::baseline();
+            match field {
+                "rob_size" => cfg.rob_size = 0,
+                "rs_size" => cfg.rs_size = 0,
+                "sb_size" => cfg.sb_size = 0,
+                _ => cfg.dispatch_width = 0,
+            }
+            assert_eq!(
+                cfg.validated(),
+                Err(ConfigError::Zero { what: field }),
+                "{field}"
+            );
+        }
     }
 
     #[test]

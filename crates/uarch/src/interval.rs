@@ -16,6 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::UarchConfig;
+use crate::error::ConfigError;
 use crate::hierarchy::LevelCounters;
 use crate::topdown::TopDown;
 
@@ -202,6 +203,13 @@ impl CycleBreakdown {
 pub struct CoreModel {
     cfg: UarchConfig,
     params: ModelParams,
+    /// Optional port-model dispatch bound (sustained uops/cycle the issue
+    /// ports can deliver for the profiled uop mix). When set and lower than
+    /// the nominal dispatch width, the base dispatch time stretches while
+    /// Top-down slot accounting keeps the nominal width — so port
+    /// contention surfaces as backend-core share, exactly where Top-down
+    /// puts it on real hardware.
+    dispatch_bound: Option<f64>,
 }
 
 impl CoreModel {
@@ -210,7 +218,20 @@ impl CoreModel {
         CoreModel {
             cfg: cfg.clone(),
             params: ModelParams::default(),
+            dispatch_bound: None,
         }
+    }
+
+    /// Fallible constructor: validates the configuration first, so a
+    /// hand-built config with a zero dispatch width, window, or buffer is
+    /// rejected instead of silently producing garbage cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] of [`UarchConfig::validate`].
+    pub fn try_new(cfg: &UarchConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self::new(cfg))
     }
 
     /// Creates a model with explicit parameters (for ablation studies).
@@ -218,7 +239,40 @@ impl CoreModel {
         CoreModel {
             cfg: cfg.clone(),
             params,
+            dispatch_bound: None,
         }
+    }
+
+    /// Fallible variant of [`CoreModel::with_params`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] of [`UarchConfig::validate`].
+    pub fn try_with_params(cfg: &UarchConfig, params: ModelParams) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self::with_params(cfg, params))
+    }
+
+    /// Installs a port-model dispatch bound (uops/cycle). Bounds above the
+    /// nominal width are harmless (the width still clamps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Zero`] when `bound` is not a positive finite
+    /// number.
+    pub fn with_dispatch_bound(mut self, bound: f64) -> Result<Self, ConfigError> {
+        if !(bound.is_finite() && bound > 0.0) {
+            return Err(ConfigError::Zero {
+                what: "dispatch_bound",
+            });
+        }
+        self.dispatch_bound = Some(bound);
+        Ok(self)
+    }
+
+    /// The installed dispatch bound, if any.
+    pub fn dispatch_bound(&self) -> Option<f64> {
+        self.dispatch_bound
     }
 
     /// The configuration this model simulates.
@@ -230,12 +284,20 @@ impl CoreModel {
     pub fn run(&self, c: &ExecutionCounts) -> CycleBreakdown {
         let p = &self.params;
         let cfg = &self.cfg;
-        let width = f64::from(cfg.dispatch_width);
+        // Guard hand-built zero-sized configs: clamp rather than divide by
+        // zero (use `try_new` to reject them loudly instead).
+        let width = f64::from(cfg.dispatch_width.max(1));
+        // Effective issue rate: the port model may bound dispatch below the
+        // nominal width for contention-heavy uop mixes.
+        let eff_width = self
+            .dispatch_bound
+            .map_or(width, |b| b.min(width))
+            .max(f64::MIN_POSITIVE);
 
         // --- Base dispatch time ---
-        let mut base = (c.uops as f64 / width).ceil();
+        let mut base = (c.uops as f64 / eff_width).ceil();
         if !cfg.issue_at_dispatch {
-            base += c.uops as f64 * p.dispatch_bubble / width;
+            base += c.uops as f64 * p.dispatch_bubble / eff_width;
         }
 
         // --- Front-end penalties ---
@@ -280,14 +342,14 @@ impl CoreModel {
             + c.stores.mem as f64 * f64::from(cfg.mem_latency);
         let pre_cycles = (base + frontend + badspec + memory).max(1.0);
         let occupancy = store_fill_cycles / pre_cycles; // average entries in use
-        let pressure = occupancy / f64::from(cfg.sb_size);
+        let pressure = occupancy / f64::from(cfg.sb_size.max(1));
         let sb = pre_cycles * (pressure - p.sb_threshold).clamp(0.0, 0.5);
 
         // --- Core (execution resource) pressure ---
         // Heavy uops contend for the long-latency ports; a smaller RS exposes
         // more of that contention.
-        let rs_factor = (36.0 / f64::from(cfg.rs_size)).powf(0.3);
-        let core = c.heavy_ops as f64 * p.heavy_cost / width * rs_factor;
+        let rs_factor = (36.0 / f64::from(cfg.rs_size.max(1))).powf(0.3);
+        let core = c.heavy_ops as f64 * p.heavy_cost / eff_width * rs_factor;
 
         let total = (base + frontend + badspec + memory + sb + core).ceil() as u64;
 
@@ -295,7 +357,7 @@ impl CoreModel {
         // The ROB fills while long loads drain; the RS fills both on core
         // pressure and (faster, when small) on memory waits.
         let rob_stall = memory * 0.7;
-        let rs_stall = core + memory * 0.3 * (36.0 / f64::from(cfg.rs_size)).sqrt();
+        let rs_stall = core + memory * 0.3 * (36.0 / f64::from(cfg.rs_size.max(1))).sqrt();
 
         CycleBreakdown {
             base_cycles: base,
@@ -443,6 +505,61 @@ mod tests {
         assert!(bd.total_cycles >= 1);
         let td = bd.topdown();
         assert!(td.sum().is_finite());
+    }
+
+    #[test]
+    fn try_new_rejects_zero_sized_configs() {
+        let mut cfg = UarchConfig::baseline();
+        cfg.dispatch_width = 0;
+        assert!(CoreModel::try_new(&cfg).is_err());
+        assert!(CoreModel::try_with_params(&cfg, ModelParams::default()).is_err());
+        assert!(CoreModel::try_new(&UarchConfig::baseline()).is_ok());
+        // The infallible path clamps instead of dividing by zero.
+        let bd = CoreModel::new(&cfg).run(&base_counts());
+        assert!(bd.total_cycles >= 1);
+        assert!(bd.topdown().sum().is_finite());
+    }
+
+    #[test]
+    fn dispatch_bound_must_be_positive_finite() {
+        let cfg = UarchConfig::baseline();
+        assert!(CoreModel::new(&cfg).with_dispatch_bound(0.0).is_err());
+        assert!(CoreModel::new(&cfg).with_dispatch_bound(-1.0).is_err());
+        assert!(CoreModel::new(&cfg).with_dispatch_bound(f64::NAN).is_err());
+        let m = CoreModel::new(&cfg).with_dispatch_bound(2.5).unwrap();
+        assert_eq!(m.dispatch_bound(), Some(2.5));
+    }
+
+    #[test]
+    fn dispatch_bound_stretches_cycles_into_backend_core() {
+        let cfg = UarchConfig::baseline();
+        let c = base_counts();
+        let flat = CoreModel::new(&cfg).run(&c);
+        let bound = CoreModel::new(&cfg)
+            .with_dispatch_bound(f64::from(cfg.dispatch_width) * 0.6)
+            .unwrap()
+            .run(&c);
+        assert!(bound.total_cycles > flat.total_cycles);
+        // Slot accounting keeps the nominal width, so the extra cycles all
+        // land in backend-core and the shares still sum to one.
+        assert_eq!(bound.dispatch_width, cfg.dispatch_width);
+        let td_flat = flat.topdown();
+        let td_bound = bound.topdown();
+        assert!((td_bound.sum() - 1.0).abs() < 1e-9);
+        assert!(td_bound.backend_core > td_flat.backend_core);
+        assert!(td_bound.retiring < td_flat.retiring);
+    }
+
+    #[test]
+    fn dispatch_bound_above_width_is_inert() {
+        let cfg = UarchConfig::baseline();
+        let c = base_counts();
+        let flat = CoreModel::new(&cfg).run(&c);
+        let bound = CoreModel::new(&cfg)
+            .with_dispatch_bound(f64::from(cfg.dispatch_width) * 2.0)
+            .unwrap()
+            .run(&c);
+        assert_eq!(flat, bound);
     }
 
     #[test]

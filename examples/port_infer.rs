@@ -1,0 +1,31 @@
+//! Automated port-mapping inference across the Table IV configurations.
+//!
+//! For every configuration the harness hides the ground-truth port layout
+//! behind a blocked-port measurement bench, recovers the mapping purely
+//! from throughput experiments (uops.info-style), compresses it into a
+//! PALMED-style conjunctive resource model, and validates the model's
+//! predictions against fresh measurements.
+//!
+//! The output is byte-deterministic for a fixed seed — the CI
+//! `port-inference-determinism` job runs this twice and compares bytes.
+//!
+//! ```text
+//! cargo run --release --example port_infer -- [--seed N]
+//! ```
+
+use vtx_port::render_inference_report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args.next().ok_or("--seed needs a value")?.parse::<u64>()?;
+            }
+            other => return Err(format!("unknown argument '{other}'").into()),
+        }
+    }
+    print!("{}", render_inference_report(seed));
+    Ok(())
+}

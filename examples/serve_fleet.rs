@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! cargo run --release --example serve_fleet -- [--seed N] [--smoke]
-//!     [--policy random|rr|smart|all] [--real] [--trace-out FILE]
+//!     [--policy random|rr|smart|port|all] [--real] [--trace-out FILE]
 //!     [--dump-trace FILE]
 //! ```
 
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let policies: Vec<&str> = match policy_arg.as_str() {
-        "all" => vec!["random", "round_robin", "smart"],
+        "all" => vec!["random", "round_robin", "smart", "port"],
         name => vec![name],
     };
 

@@ -1,0 +1,141 @@
+//! Graceful degradation: trade output quality for survival.
+//!
+//! When detected live capacity drops below offered load (servers crashed,
+//! stragglers dragging), an admission queue only delays the reckoning —
+//! backlog is the integral of (offered − served). The ladder watches
+//! backlog per unit of *detected-up* capacity and steps the x264 preset
+//! toward `ultrafast` along the Table II order, cutting per-job cost so the
+//! shrunken fleet can keep absorbing the offered rate; hysteresis (the
+//! de-escalation threshold sits well below the escalation threshold) keeps
+//! it from thrashing at a boundary.
+
+use serde::{Deserialize, Serialize};
+
+use vtx_codec::Preset;
+
+/// Ladder tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradeConfig {
+    /// Master switch (off by default: failures alone never change output
+    /// quality unless the operator opts in).
+    pub enabled: bool,
+    /// Queued jobs tolerated per unit of detected-up capacity (sum of
+    /// healthy servers' speed grades) before the ladder escalates a level.
+    pub backlog_per_unit: f64,
+    /// Maximum preset steps the ladder may take toward `ultrafast`.
+    pub max_level: u8,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            enabled: false,
+            backlog_per_unit: 4.0,
+            max_level: 4,
+        }
+    }
+}
+
+/// The ladder state machine: one step up or down per observation.
+#[derive(Debug, Clone)]
+pub struct DegradeLadder {
+    cfg: DegradeConfig,
+    level: u8,
+}
+
+impl DegradeLadder {
+    /// A ladder at level 0.
+    pub fn new(cfg: DegradeConfig) -> Self {
+        DegradeLadder { cfg, level: 0 }
+    }
+
+    /// Current degradation level (0 = full quality).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Feeds one observation of backlog vs detected-up capacity and returns
+    /// the (possibly stepped) level. Escalates when backlog exceeds the
+    /// per-level threshold, de-escalates when it falls below half of the
+    /// *previous* level's threshold.
+    pub fn observe(&mut self, backlog: usize, up_capacity: f64) -> u8 {
+        if !self.cfg.enabled {
+            return 0;
+        }
+        let unit = (self.cfg.backlog_per_unit * up_capacity.max(0.0)).max(1.0);
+        let b = backlog as f64;
+        if b > unit * f64::from(self.level + 1) && self.level < self.cfg.max_level {
+            self.level += 1;
+        } else if self.level > 0 && b < unit * f64::from(self.level) * 0.5 {
+            self.level -= 1;
+        }
+        self.level
+    }
+}
+
+/// Steps `preset` `level` places toward `ultrafast` along [`Preset::ALL`]
+/// (Table II order). Level 0 is the identity; the walk saturates at
+/// `ultrafast`.
+pub fn downgrade(preset: Preset, level: u8) -> Preset {
+    let idx = Preset::ALL.iter().position(|&p| p == preset).unwrap_or(0);
+    Preset::ALL[idx.saturating_sub(level as usize)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> DegradeLadder {
+        DegradeLadder::new(DegradeConfig {
+            enabled: true,
+            backlog_per_unit: 2.0,
+            max_level: 3,
+        })
+    }
+
+    #[test]
+    fn disabled_ladder_never_moves() {
+        let mut l = DegradeLadder::new(DegradeConfig::default());
+        assert_eq!(l.observe(1_000_000, 1.0), 0);
+        assert_eq!(l.level(), 0);
+    }
+
+    #[test]
+    fn escalates_one_step_per_observation_and_saturates() {
+        let mut l = ladder();
+        // Capacity 1.0 → threshold 2 jobs per level; backlog 100 is over
+        // every level's bar but the ladder still walks one step at a time.
+        assert_eq!(l.observe(100, 1.0), 1);
+        assert_eq!(l.observe(100, 1.0), 2);
+        assert_eq!(l.observe(100, 1.0), 3);
+        assert_eq!(l.observe(100, 1.0), 3, "clamped at max_level");
+    }
+
+    #[test]
+    fn hysteresis_deescalates_only_well_below_the_bar() {
+        let mut l = ladder();
+        l.observe(100, 1.0); // level 1 (threshold was 2)
+                             // Backlog 3 is below the level-2 escalation bar (4) but not below
+                             // half the level-1 bar (1): hold.
+        assert_eq!(l.observe(3, 1.0), 1);
+        // Backlog 0 clears the de-escalation bar.
+        assert_eq!(l.observe(0, 1.0), 0);
+        assert_eq!(l.observe(0, 1.0), 0, "stays at full quality");
+    }
+
+    #[test]
+    fn zero_capacity_still_has_a_floor_threshold() {
+        let mut l = ladder();
+        // All servers down: unit clamps to 1 job; any backlog escalates.
+        assert_eq!(l.observe(2, 0.0), 1);
+    }
+
+    #[test]
+    fn downgrade_walks_table_ii_toward_ultrafast() {
+        assert_eq!(downgrade(Preset::Medium, 0), Preset::Medium);
+        assert_eq!(downgrade(Preset::Medium, 1), Preset::Fast);
+        assert_eq!(downgrade(Preset::Medium, 3), Preset::Veryfast);
+        assert_eq!(downgrade(Preset::Superfast, 5), Preset::Ultrafast);
+        assert_eq!(downgrade(Preset::Ultrafast, 2), Preset::Ultrafast);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for fault-plan construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while building a fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// A fault referenced a server index outside the plan.
+    ServerOutOfRange {
+        /// The offending index.
+        server: usize,
+        /// Number of servers in the plan.
+        servers: usize,
+    },
+    /// A slowdown or stall window was empty or inverted.
+    BadWindow {
+        /// Window start (µs).
+        from_us: u64,
+        /// Window end (µs).
+        until_us: u64,
+    },
+    /// A slowdown factor was not finite and greater than 1.
+    BadFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// Two slowdown windows on the same server overlap, which would make
+    /// the effective factor ambiguous.
+    OverlappingSlowdowns {
+        /// The server whose windows collide.
+        server: usize,
+    },
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::ServerOutOfRange { server, servers } => {
+                write!(f, "server {server} out of range (plan has {servers})")
+            }
+            ChaosError::BadWindow { from_us, until_us } => {
+                write!(f, "window [{from_us}, {until_us}) is empty or inverted")
+            }
+            ChaosError::BadFactor { factor } => {
+                write!(f, "slowdown factor {factor} must be finite and > 1")
+            }
+            ChaosError::OverlappingSlowdowns { server } => {
+                write!(f, "server {server} has overlapping slowdown windows")
+            }
+        }
+    }
+}
+
+impl Error for ChaosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = ChaosError::ServerOutOfRange {
+            server: 9,
+            servers: 5,
+        };
+        assert!(e.to_string().contains("server 9"));
+        let e = ChaosError::BadFactor { factor: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+}

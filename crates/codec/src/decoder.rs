@@ -22,7 +22,7 @@ use crate::mc::{build_inter_pred_frames, build_p8_pred};
 use crate::quant::dequant4x4;
 use crate::transform::idct4x4;
 use crate::types::{FrameType, MotionVector, Qp};
-use crate::CodecError;
+use crate::{CodecError, DecodeError};
 
 /// A decoded clip, in display order.
 #[derive(Debug, Clone)]
@@ -48,15 +48,20 @@ struct Header {
     scale: u32,
 }
 
-fn parse_header(data: &[u8]) -> Result<(Header, usize), CodecError> {
+/// Largest luma dimension the decoder will allocate for. A flipped bit in
+/// the 16-bit width/height fields can otherwise demand multi-gigabyte frame
+/// buffers; 4096 covers every vbench clip (up to 4K) with headroom.
+pub const MAX_DECODE_DIM: usize = 4096;
+
+fn parse_header(data: &[u8]) -> Result<(Header, usize), DecodeError> {
     if data.len() < 15 {
-        return Err(CodecError::CorruptBitstream {
+        return Err(DecodeError::Truncated {
             offset: 0,
             context: "container header",
         });
     }
     if &data[0..4] != MAGIC || data[4] != VERSION {
-        return Err(CodecError::BadMagic);
+        return Err(DecodeError::BadMagic);
     }
     let width = usize::from(u16::from_le_bytes([data[5], data[6]]));
     let height = usize::from(u16::from_le_bytes([data[7], data[8]]));
@@ -66,7 +71,7 @@ fn parse_header(data: &[u8]) -> Result<(Header, usize), CodecError> {
     let refs = data[13].clamp(1, 16);
     let da = data[14] as i8;
     if data.len() < 17 {
-        return Err(CodecError::CorruptBitstream {
+        return Err(DecodeError::Truncated {
             offset: 14,
             context: "deblock offsets",
         });
@@ -74,10 +79,13 @@ fn parse_header(data: &[u8]) -> Result<(Header, usize), CodecError> {
     let db = data[15] as i8;
     let scale = u32::from(data[16].max(1));
     if width == 0 || height == 0 || width % 16 != 0 || height % 16 != 0 {
-        return Err(CodecError::CorruptBitstream {
+        return Err(DecodeError::Corrupt {
             offset: 5,
             context: "frame dimensions",
         });
+    }
+    if width > MAX_DECODE_DIM || height > MAX_DECODE_DIM {
+        return Err(DecodeError::Oversized { width, height });
     }
     Ok((
         Header {
@@ -652,6 +660,28 @@ mod tests {
             decode_video(&bs, &mut p),
             Err(CodecError::CorruptBitstream { .. })
         ));
+    }
+
+    #[test]
+    fn oversized_geometry_is_refused_without_allocating() {
+        // 65520x65520 (the largest MB-aligned u16 geometry) would demand
+        // ~6 GB of frame buffer; the decoder must refuse up front.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"VTXB");
+        data.push(1);
+        data.extend_from_slice(&65520u16.to_le_bytes());
+        data.extend_from_slice(&65520u16.to_le_bytes());
+        data.push(30);
+        data.extend_from_slice(&1u16.to_le_bytes());
+        data.extend_from_slice(&[0, 1, 0, 0, 8]);
+        let mut p = prof();
+        assert_eq!(
+            decode_video(&Bitstream { data }, &mut p).unwrap_err(),
+            CodecError::CorruptBitstream {
+                offset: 5,
+                context: "oversized geometry"
+            }
+        );
     }
 
     #[test]

@@ -67,6 +67,78 @@ impl From<FrameError> for CodecError {
     }
 }
 
+/// Structured decode-path error: what exactly went wrong while parsing a
+/// bitstream. The decoder uses this internally (and it converts into
+/// [`CodecError`] for the public API), so hardening work can distinguish
+/// truncation from corruption from resource-exhaustion attacks without
+/// changing the public decode signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the structure being parsed was complete.
+    Truncated {
+        /// Byte offset where more data was expected.
+        offset: usize,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// A parsed value is impossible (bad mode index, out-of-range motion
+    /// vector, inconsistent frame table, …).
+    Corrupt {
+        /// Byte offset (approximate) where parsing failed.
+        offset: usize,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// The magic/version prefix does not identify a vtx bitstream.
+    BadMagic,
+    /// The header declares geometry large enough to exhaust memory; the
+    /// decoder refuses rather than attempting the allocation.
+    Oversized {
+        /// Declared luma width.
+        width: usize,
+        /// Declared luma height.
+        height: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { offset, context } => {
+                write!(f, "bitstream truncated at byte {offset} in {context}")
+            }
+            DecodeError::Corrupt { offset, context } => {
+                write!(f, "corrupt bitstream near byte {offset} in {context}")
+            }
+            DecodeError::BadMagic => write!(f, "not a vtx bitstream (bad magic)"),
+            DecodeError::Oversized { width, height } => {
+                write!(
+                    f,
+                    "declared geometry {width}x{height} exceeds decoder limits"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl From<DecodeError> for CodecError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::Truncated { offset, context }
+            | DecodeError::Corrupt { offset, context } => {
+                CodecError::CorruptBitstream { offset, context }
+            }
+            DecodeError::BadMagic => CodecError::BadMagic,
+            DecodeError::Oversized { .. } => CodecError::CorruptBitstream {
+                offset: 5,
+                context: "oversized geometry",
+            },
+        }
+    }
+}
+
 impl From<ConfigError> for CodecError {
     fn from(e: ConfigError) -> Self {
         CodecError::Sim(e)
@@ -95,5 +167,30 @@ mod tests {
         assert!(matches!(e, CodecError::Frame(_)));
         let e: CodecError = ConfigError::Zero { what: "x" }.into();
         assert!(matches!(e, CodecError::Sim(_)));
+    }
+
+    #[test]
+    fn decode_error_maps_into_codec_error() {
+        let e: CodecError = DecodeError::Truncated {
+            offset: 9,
+            context: "frame header",
+        }
+        .into();
+        assert_eq!(
+            e,
+            CodecError::CorruptBitstream {
+                offset: 9,
+                context: "frame header"
+            }
+        );
+        let e: CodecError = DecodeError::BadMagic.into();
+        assert_eq!(e, CodecError::BadMagic);
+        let big = DecodeError::Oversized {
+            width: 65520,
+            height: 65520,
+        };
+        assert!(big.to_string().contains("65520"));
+        let e: CodecError = big.into();
+        assert!(matches!(e, CodecError::CorruptBitstream { .. }));
     }
 }

@@ -72,6 +72,6 @@ pub mod types;
 pub use config::{EncoderConfig, PartitionSet, RateControlMode};
 pub use decoder::{decode_video, DecodedVideo};
 pub use encoder::{encode_video, Bitstream, EncodeResult, EncodeStats};
-pub use error::CodecError;
+pub use error::{CodecError, DecodeError};
 pub use preset::Preset;
 pub use types::{FrameType, MeMethod, MotionVector, Qp};

@@ -28,6 +28,14 @@ impl TranscodeTask {
         }
     }
 
+    /// The same task at a different preset. Used by the serving layer's
+    /// graceful-degradation ladder, which steps jobs toward `ultrafast`
+    /// under capacity loss; `crf`/`refs` overrides survive the swap.
+    pub fn with_preset(mut self, preset: Preset) -> Self {
+        self.preset = preset;
+        self
+    }
+
     /// The encoder configuration this task runs with: the preset's options
     /// with the task's `crf` and `refs` overriding the preset values.
     pub fn encoder_config(&self) -> EncoderConfig {
@@ -71,6 +79,16 @@ mod tests {
             TranscodeTask::new("presentation", 35, 6, Preset::Veryfast)
         );
         assert_eq!(t[3], TranscodeTask::new("game2", 15, 2, Preset::Medium));
+    }
+
+    #[test]
+    fn with_preset_swaps_only_the_preset() {
+        let t = TranscodeTask::new("holi", 10, 1, Preset::Slow).with_preset(Preset::Ultrafast);
+        assert_eq!(t.preset, Preset::Ultrafast);
+        assert_eq!((t.video.as_str(), t.crf, t.refs), ("holi", 10, 1));
+        // The crf/refs overrides still apply at the new preset.
+        let cfg = t.encoder_config();
+        assert_eq!(cfg.refs, 1);
     }
 
     #[test]

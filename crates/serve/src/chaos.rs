@@ -1,0 +1,145 @@
+//! Chaos wiring for the serving layer: one config that both engines obey.
+//!
+//! [`ChaosConfig`] bundles the failure script ([`FaultPlan`]), the failure
+//! detector tuning, the hedging trigger and the graceful-degradation ladder
+//! into a field of [`crate::service::ServeConfig`]. The default is fully
+//! disabled — an un-faulted run behaves (and renders) exactly as before —
+//! and because the config is plain data, a faulted simulation remains a
+//! pure function of `(workload, fleet, policy, config, seed)`.
+
+use serde::{Deserialize, Serialize};
+
+pub use vtx_chaos::{
+    DegradeConfig, DetectorConfig, FailureDetector, FaultCounts, FaultKind, FaultPlan, Health,
+};
+
+/// Fault-injection and recovery configuration for a serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// The failure script (default: no faults).
+    pub plan: FaultPlan,
+    /// Heartbeat failure-detector tuning.
+    pub detector: DetectorConfig,
+    /// Hedged re-dispatch trigger for the interactive class: once an
+    /// in-flight interactive job has burned this fraction of its deadline
+    /// budget, a duplicate is dispatched to the best idle server and the
+    /// first completion wins. `>= 1.0` disables hedging.
+    pub hedge_after: f64,
+    /// Graceful-degradation ladder (disabled by default).
+    pub degrade: DegradeConfig,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            plan: FaultPlan::default(),
+            detector: DetectorConfig::default(),
+            hedge_after: 1.0,
+            degrade: DegradeConfig::default(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Whether any chaos machinery is active.
+    pub fn enabled(&self) -> bool {
+        !self.plan.is_empty() || self.hedge_after < 1.0 || self.degrade.enabled
+    }
+
+    /// The acceptance scenario of the fault-tolerance study: kill 2 of the
+    /// fleet's servers at 30% of `horizon_us` and make one more server a
+    /// 3× fail-slow straggler for the whole run. Victims are drawn from
+    /// the seed so different seeds stress different servers; the plan is a
+    /// pure function of `(seed, servers, horizon_us)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers < 3` (the scenario needs 2 crash victims and a
+    /// disjoint straggler).
+    pub fn kill_two_straggle_one(seed: u64, servers: usize, horizon_us: u64) -> Self {
+        assert!(servers >= 3, "scenario needs at least 3 servers");
+        let mut rng = vtx_chaos::rng::SplitMix64::new(vtx_chaos::rng::derive(seed, 0xFA17));
+        let a = rng.next_range(servers as u64) as usize;
+        let mut b = rng.next_range(servers as u64) as usize;
+        while b == a {
+            b = (b + 1) % servers;
+        }
+        let mut s = rng.next_range(servers as u64) as usize;
+        while s == a || s == b {
+            s = (s + 1) % servers;
+        }
+        let crash_at = (horizon_us as f64 * 0.3) as u64;
+        let plan = FaultPlan::none(servers)
+            .with_crash(a, crash_at)
+            .expect("index in range")
+            .with_crash(b, crash_at)
+            .expect("index in range")
+            .with_slowdown(s, 0, u64::MAX / 2, 3.0)
+            .expect("index in range");
+        ChaosConfig {
+            plan,
+            ..ChaosConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_disabled() {
+        let c = ChaosConfig::default();
+        assert!(!c.enabled());
+        assert!(c.plan.is_empty());
+    }
+
+    #[test]
+    fn any_knob_enables() {
+        let c = ChaosConfig {
+            hedge_after: 0.5,
+            ..ChaosConfig::default()
+        };
+        assert!(c.enabled());
+        let c = ChaosConfig {
+            degrade: DegradeConfig {
+                enabled: true,
+                ..DegradeConfig::default()
+            },
+            ..ChaosConfig::default()
+        };
+        assert!(c.enabled());
+        let c = ChaosConfig {
+            plan: FaultPlan::none(3).with_crash(0, 5).unwrap(),
+            ..ChaosConfig::default()
+        };
+        assert!(c.enabled());
+    }
+
+    #[test]
+    fn acceptance_scenario_kills_two_and_straggles_one() {
+        let c = ChaosConfig::kill_two_straggle_one(42, 8, 1_000_000);
+        let counts = c.plan.counts();
+        assert_eq!(counts.crashes, 2);
+        assert_eq!(counts.slowdowns, 1);
+        // Crash victims and the straggler are disjoint servers.
+        let crashed: Vec<usize> = (0..8).filter(|&s| c.plan.crash_us(s).is_some()).collect();
+        assert_eq!(crashed.len(), 2);
+        for s in 0..8 {
+            let sf = c.plan.server(s);
+            if !sf.slowdowns.is_empty() {
+                assert!(sf.crash_us.is_none(), "straggler must not also crash");
+                assert!((sf.slowdowns[0].factor - 3.0).abs() < 1e-12);
+            }
+        }
+        for &s in &crashed {
+            assert_eq!(c.plan.crash_us(s), Some(300_000));
+        }
+        // Seed-deterministic.
+        assert_eq!(c, ChaosConfig::kill_two_straggle_one(42, 8, 1_000_000));
+        assert_ne!(
+            c.plan,
+            ChaosConfig::kill_two_straggle_one(7, 8, 1_000_000).plan
+        );
+    }
+}

@@ -13,6 +13,18 @@ pub enum ServeError {
     EmptyFleet,
     /// A workload with no jobs was supplied.
     EmptyWorkload,
+    /// Two servers in a fleet share a name.
+    DuplicateServer {
+        /// The repeated name.
+        name: String,
+    },
+    /// A server's speed grade was zero, negative or non-finite.
+    InvalidSpeed {
+        /// The offending server.
+        name: String,
+        /// The offending speed.
+        speed: f64,
+    },
     /// A job references a video outside the vbench catalog.
     UnknownVideo {
         /// The name that failed to resolve.
@@ -36,6 +48,15 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::EmptyFleet => write!(f, "fleet must contain at least one server"),
             ServeError::EmptyWorkload => write!(f, "workload must contain at least one job"),
+            ServeError::DuplicateServer { name } => {
+                write!(f, "fleet has two servers named '{name}'")
+            }
+            ServeError::InvalidSpeed { name, speed } => {
+                write!(
+                    f,
+                    "server '{name}' has invalid speed {speed} (must be finite and > 0)"
+                )
+            }
             ServeError::UnknownVideo { name } => {
                 write!(f, "video '{name}' is not in the vbench catalog")
             }

@@ -7,13 +7,21 @@
 //! clock (wall time) and the service process (a profiled transcode on the
 //! server's Table IV microarchitecture) differ. Wall-clock runs are not
 //! byte-reproducible; the determinism story belongs to [`crate::sim`].
+//!
+//! The same [`crate::chaos::ChaosConfig`] the simulator obeys applies here,
+//! against the wall clock: a fail-stop crash makes the worker thread die
+//! without reporting (its in-flight job is recovered when the failure
+//! detector's down verdict fires), a fail-slow window stretches the
+//! worker's observed service time, and hedged duplicates race real
+//! transcodes with first-completion-wins accounting.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use vtx_chaos::{FailureDetector, FaultKind, Health};
 use vtx_core::{CoreError, TranscodeOptions, Transcoder};
 use vtx_frame::{synth, vbench};
 use vtx_telemetry::Span;
@@ -25,7 +33,7 @@ use crate::policy::DispatchPolicy;
 use crate::queue::PendingJob;
 use crate::service::{ServeConfig, ServiceCore};
 use crate::sim::SimOutcome;
-use crate::workload::{JobSpec, WorkloadSpec};
+use crate::workload::{JobSpec, Priority, WorkloadSpec};
 
 /// Real-executor tuning.
 #[derive(Debug, Clone)]
@@ -132,9 +140,16 @@ pub fn run_real_trace(
     let model = CostModel::new(seed);
     let mut core = ServiceCore::new(cfg.serve.clone(), fleet, model, policy);
     let n_servers = core.fleet().len();
+    let plan = cfg.serve.chaos.plan.clone();
+    let hedge_after = cfg.serve.chaos.hedge_after;
+
+    let start = Instant::now();
 
     // Per-server worker threads: each owns its uarch and pulls (job, start)
-    // work items; completions funnel into one channel.
+    // work items; completions funnel into one channel. Under a fault plan a
+    // worker enforces its own failures against the wall clock: past its
+    // crash time it dies silently (no Done), and a fail-slow window
+    // stretches its observed service time via [`vtx_chaos::FaultPlan`].
     let (done_tx, done_rx) = mpsc::channel::<Done>();
     let mut work_txs = Vec::with_capacity(n_servers);
     let mut workers = Vec::with_capacity(n_servers);
@@ -145,14 +160,34 @@ pub fn run_real_trace(
         let uarch = server.uarch.clone();
         let sample_shift = cfg.sample_shift;
         let pool = transcoders.clone();
+        let plan_w = plan.clone();
         workers.push(thread::spawn(move || {
             while let Ok((job, started_us)) = rx.recv() {
+                let now = start.elapsed().as_micros() as u64;
+                if plan_w.crash_us(idx).is_some_and(|c| c <= now) {
+                    // Fail-stop: die without reporting; the detector's down
+                    // verdict recovers the job.
+                    break;
+                }
                 let opts = TranscodeOptions::on(uarch.clone()).with_sample_shift(sample_shift);
+                let work_start = now;
                 let result = pool
                     .get(&job.spec.task.video)
                     .expect("transcoder pre-built for every trace video")
                     .transcode(&job.spec.task.encoder_config(), &opts)
                     .map(|_| ());
+                let now = start.elapsed().as_micros() as u64;
+                if plan_w.crash_us(idx).is_some_and(|c| c <= now) {
+                    // Died mid-transcode: the finished work is lost.
+                    break;
+                }
+                // Fail-slow: stretch the observed service time to what the
+                // plan says this window costs.
+                let elapsed = now.saturating_sub(work_start);
+                let wall = plan_w.inflate(idx, work_start, elapsed);
+                if wall > elapsed {
+                    thread::sleep(Duration::from_micros(wall - elapsed));
+                }
                 // Receiver gone = run aborted; nothing left to report.
                 if done
                     .send(Done {
@@ -170,7 +205,6 @@ pub fn run_real_trace(
     }
     drop(done_tx);
 
-    let start = Instant::now();
     let now_us = || start.elapsed().as_micros() as u64;
 
     let mut arrivals: Vec<JobSpec> = jobs.to_vec();
@@ -180,8 +214,73 @@ pub fn run_real_trace(
     let mut in_flight = 0usize;
     let mut makespan = 0u64;
 
+    // Fault bookkeeping (all empty without a plan): a copy of every
+    // in-flight job so down verdicts can requeue work a dead worker will
+    // never report, a pre-loaded detector (a crashed server's heartbeats
+    // stop at its crash time), hedge triggers, and copy counts so hedged
+    // jobs terminate exactly once.
+    let mut running: Vec<Option<(PendingJob, u64, bool)>> = (0..n_servers).map(|_| None).collect();
+    let mut detector = FailureDetector::new(cfg.serve.chaos.detector, n_servers);
+    let mut fault_due: Vec<(u64, usize, FaultKind)> = Vec::new();
+    for s in 0..n_servers {
+        let f = plan.server(s);
+        if let Some(c) = f.crash_us {
+            detector.stop_beats(s, c);
+            fault_due.push((c, s, FaultKind::Crash));
+        }
+        for w in &f.slowdowns {
+            fault_due.push((w.from_us, s, FaultKind::SlowDown));
+        }
+        for st in &f.stalls {
+            fault_due.push((st.at_us, s, FaultKind::Stall));
+        }
+    }
+    fault_due.sort_unstable_by_key(|&(t, s, _)| (t, s));
+    let mut next_fault = 0usize;
+    let mut hedges_due: Vec<(u64, u64)> = Vec::new(); // (due_us, job id)
+    let mut copies: BTreeMap<u64, u8> = BTreeMap::new();
+    let mut done_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut lost: BTreeSet<(u64, u32)> = BTreeSet::new(); // (id, attempt)
+
     loop {
         let t = now_us();
+        // Book plan faults as they fire.
+        while next_fault < fault_due.len() && fault_due[next_fault].0 <= t {
+            let (_, s, kind) = fault_due[next_fault];
+            core.record_fault(s, kind, t);
+            next_fault += 1;
+        }
+        // Heartbeat sweep: push detector verdicts into the core, and
+        // requeue whatever a newly-down server still holds.
+        for s in 0..n_servers {
+            match detector.classify(s, t) {
+                Health::Up => {}
+                Health::Suspected => core.mark_suspected(s, t),
+                Health::Down => {
+                    core.mark_down(s, t);
+                    if let Some((job, started_us, _)) = running[s].take() {
+                        busy[s] = false;
+                        in_flight -= 1;
+                        let id = job.spec.id;
+                        let left = copies
+                            .get_mut(&id)
+                            .map(|c| {
+                                *c -= 1;
+                                *c
+                            })
+                            .unwrap_or(0);
+                        if left == 0 {
+                            copies.remove(&id);
+                        }
+                        // A Done for this copy may still race in; drop it.
+                        lost.insert((id, job.attempts));
+                        if !done_ids.contains(&id) && left == 0 {
+                            core.fail(job, s, started_us, t);
+                        }
+                    }
+                }
+            }
+        }
         while next_arrival < arrivals.len() && arrivals[next_arrival].arrival_us <= t {
             core.offer(arrivals[next_arrival].clone(), t);
             next_arrival += 1;
@@ -191,14 +290,72 @@ pub fn run_real_trace(
         for (job, server) in core.dispatch(&idle, t) {
             busy[server] = true;
             in_flight += 1;
-            // Worker threads outlive every send in this loop.
-            work_txs[server]
-                .send((job, t))
-                .expect("worker thread alive");
+            let id = job.spec.id;
+            *copies.entry(id).or_insert(0) += 1;
+            if hedge_after < 1.0 && job.spec.priority == Priority::Interactive && job.attempts == 1
+            {
+                let budget = job.spec.deadline_us.saturating_sub(job.spec.arrival_us);
+                let due = job
+                    .spec
+                    .arrival_us
+                    .saturating_add((budget as f64 * hedge_after) as u64);
+                if due > t && due < job.spec.deadline_us {
+                    hedges_due.push((due, id));
+                }
+            }
+            running[server] = Some((job.clone(), t, false));
+            // A dead worker's channel may be closed; the job copy in
+            // `running` is recovered by the down verdict above.
+            let _ = work_txs[server].send((job, t));
+        }
+        // Launch due hedges: a duplicate of the original copy on the best
+        // detected-up idle server; first completion wins.
+        let t = now_us();
+        let mut i = 0;
+        while i < hedges_due.len() {
+            if hedges_due[i].0 > t {
+                i += 1;
+                continue;
+            }
+            let (_, id) = hedges_due.swap_remove(i);
+            if done_ids.contains(&id) || copies.get(&id) != Some(&1) {
+                continue;
+            }
+            let Some(origin) = (0..n_servers)
+                .find(|&s| running[s].as_ref().is_some_and(|(j, _, _)| j.spec.id == id))
+            else {
+                continue;
+            };
+            let job = running[origin].as_ref().expect("found above").0.clone();
+            let pick = (0..n_servers)
+                .filter(|&s| !busy[s] && core.health()[s] == Health::Up)
+                .min_by_key(|&s| {
+                    (
+                        core.model().predicted_us(&job.spec, core.fleet().server(s)),
+                        s,
+                    )
+                });
+            if let Some(server) = pick {
+                core.hedge_dispatch(&job, server, t);
+                copies.insert(id, 2);
+                busy[server] = true;
+                in_flight += 1;
+                running[server] = Some((job.clone(), t, true));
+                let _ = work_txs[server].send((job, t));
+            }
         }
         makespan = makespan.max(now_us());
-        if next_arrival == arrivals.len() && in_flight == 0 && core.queued() == 0 {
-            break;
+        if next_arrival == arrivals.len() && in_flight == 0 {
+            if core.queued() == 0 {
+                break;
+            }
+            // Whole fleet down with work still queued: nothing can ever be
+            // served again; settle the books so every admitted job reaches
+            // a terminal state.
+            if core.health().iter().all(|&h| h == Health::Down) {
+                core.shed_stranded(now_us());
+                break;
+            }
         }
 
         // Sleep until the next arrival is due or a completion lands.
@@ -211,20 +368,57 @@ pub fn run_real_trace(
         match done_rx.recv_timeout(Duration::from_micros(wait_us)) {
             Ok(done) => {
                 let t = now_us();
+                let id = done.job.spec.id;
+                if lost.remove(&(id, done.job.attempts)) {
+                    // Raced a down verdict that already requeued this copy.
+                    continue;
+                }
                 busy[done.server] = false;
+                let was_hedge = running[done.server].take().is_some_and(|(_, _, h)| h);
                 in_flight -= 1;
+                let left = copies
+                    .get_mut(&id)
+                    .map(|c| {
+                        *c -= 1;
+                        *c
+                    })
+                    .unwrap_or(0);
+                if left == 0 {
+                    copies.remove(&id);
+                }
                 match done.result {
-                    // Real runs are never killed mid-transcode: a job that
-                    // outlived its deadline completes and books a violation.
-                    Ok(()) => core.complete(&done.job, done.server, done.started_us, t),
-                    // A failed transcode consumes one attempt and goes back
-                    // through admission (or is shed) like a sim timeout.
-                    Err(_) => core.timeout(done.job, done.server, done.started_us, t),
+                    Ok(()) => {
+                        if done_ids.contains(&id) {
+                            // The other copy already won; bill the work.
+                            core.hedge_discard(done.server, done.started_us, t);
+                        } else {
+                            core.complete(&done.job, done.server, done.started_us, t);
+                            done_ids.insert(id);
+                            if was_hedge {
+                                core.note_hedge_won();
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        if done_ids.contains(&id) || left > 0 {
+                            core.hedge_discard(done.server, done.started_us, t);
+                        } else {
+                            core.timeout(done.job, done.server, done.started_us, t);
+                        }
+                    }
                 }
                 makespan = makespan.max(t);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Every worker is gone (all crashed). Keep sweeping so the
+                // detector's down verdicts recover what they held, but
+                // don't spin while waiting for them to mature.
+                if in_flight == 0 && core.queued() == 0 && next_arrival == arrivals.len() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
         }
     }
 

@@ -34,7 +34,39 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// Builds a fleet, rejecting an empty server list.
+    /// Builds a fully validated fleet, mirroring the vtx-sched `try_`
+    /// pattern: every constructor precondition becomes an error, and the
+    /// panicking wrapper ([`Fleet::validated`]) stays for callers whose
+    /// input is static.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::EmptyFleet`] for an empty list,
+    /// [`ServeError::DuplicateServer`] when two servers share a name, and
+    /// [`ServeError::InvalidSpeed`] for a speed grade that is not finite
+    /// and positive.
+    pub fn try_new(servers: Vec<ServerSpec>) -> Result<Self, ServeError> {
+        if servers.is_empty() {
+            return Err(ServeError::EmptyFleet);
+        }
+        for (i, s) in servers.iter().enumerate() {
+            if !s.speed.is_finite() || s.speed <= 0.0 {
+                return Err(ServeError::InvalidSpeed {
+                    name: s.name.clone(),
+                    speed: s.speed,
+                });
+            }
+            if servers[..i].iter().any(|other| other.name == s.name) {
+                return Err(ServeError::DuplicateServer {
+                    name: s.name.clone(),
+                });
+            }
+        }
+        Ok(Fleet { servers })
+    }
+
+    /// Builds a fleet, rejecting an empty server list. Kept for existing
+    /// callers; [`Fleet::try_new`] additionally validates names and speeds.
     ///
     /// # Errors
     ///
@@ -44,6 +76,16 @@ impl Fleet {
             return Err(ServeError::EmptyFleet);
         }
         Ok(Fleet { servers })
+    }
+
+    /// The panicking wrapper around [`Fleet::try_new`], for static fleets
+    /// (mirrors how vtx-sched pairs `try_*` with a panicking front door).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the underlying [`ServeError`] message on invalid input.
+    pub fn validated(servers: Vec<ServerSpec>) -> Self {
+        Fleet::try_new(servers).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The bundled heterogeneous fleet: the baseline plus the four modified
@@ -94,6 +136,23 @@ impl Fleet {
         Ok(Fleet { servers })
     }
 
+    /// A fleet of exactly `n` servers: the first `n` slots of enough
+    /// Table IV replications. Used by the fault-tolerance study, whose
+    /// canonical scenario runs 8 servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::EmptyFleet`] when `n` is 0.
+    pub fn sized(n: usize) -> Result<Self, ServeError> {
+        if n == 0 {
+            return Err(ServeError::EmptyFleet);
+        }
+        let per = Fleet::table_iv().len();
+        let mut f = Fleet::table_iv_replicated(n.div_ceil(per))?;
+        f.servers.truncate(n);
+        Ok(f)
+    }
+
     /// Number of servers.
     pub fn len(&self) -> usize {
         self.servers.len()
@@ -139,6 +198,59 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 10, "server names must be unique");
+    }
+
+    #[test]
+    fn try_new_validates_names_and_speeds() {
+        let mut servers = Fleet::table_iv().servers().to_vec();
+        assert!(Fleet::try_new(servers.clone()).is_ok());
+        servers[1].speed = 0.0;
+        assert!(matches!(
+            Fleet::try_new(servers.clone()).unwrap_err(),
+            ServeError::InvalidSpeed { speed, .. } if speed == 0.0
+        ));
+        servers[1].speed = f64::NAN;
+        assert!(matches!(
+            Fleet::try_new(servers.clone()).unwrap_err(),
+            ServeError::InvalidSpeed { .. }
+        ));
+        servers[1].speed = 1.0;
+        servers[1].name = servers[0].name.clone();
+        assert_eq!(
+            Fleet::try_new(servers).unwrap_err(),
+            ServeError::DuplicateServer {
+                name: "baseline-0".into()
+            }
+        );
+        assert_eq!(Fleet::try_new(vec![]).unwrap_err(), ServeError::EmptyFleet);
+    }
+
+    #[test]
+    fn validated_wrapper_accepts_good_fleets() {
+        let f = Fleet::validated(Fleet::table_iv().servers().to_vec());
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed")]
+    fn validated_wrapper_panics_on_bad_input() {
+        let mut servers = Fleet::table_iv().servers().to_vec();
+        servers[0].speed = -1.0;
+        let _ = Fleet::validated(servers);
+    }
+
+    #[test]
+    fn sized_fleet_has_exactly_n_unique_servers() {
+        let f = Fleet::sized(8).unwrap();
+        assert_eq!(f.len(), 8);
+        let mut names: Vec<&str> = f.servers().iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+        assert_eq!(Fleet::sized(3).unwrap().len(), 3);
+        assert_eq!(Fleet::sized(0).unwrap_err(), ServeError::EmptyFleet);
+        // Validation holds for the truncated construction too.
+        assert!(Fleet::try_new(f.servers().to_vec()).is_ok());
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //!   the same service core.
 //! * [`report`] — exact p50/p90/p99 sojourn statistics, shed/violation
 //!   rates, per-server utilization, deterministic text rendering.
+//! * [`chaos`] — fault injection and recovery: a seeded [`chaos::FaultPlan`]
+//!   (fail-stop crashes, fail-slow stragglers, transient stalls) consumed by
+//!   both engines, a heartbeat failure detector, automatic requeue of
+//!   in-flight jobs off dead servers, hedged re-dispatch for the interactive
+//!   class, and a graceful-degradation ladder that steps the x264 preset
+//!   toward `ultrafast` when detected capacity drops below offered load.
 //!
 //! # Quickstart
 //!
@@ -57,6 +63,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod cost;
 pub mod error;
 pub mod exec;
@@ -69,10 +76,11 @@ pub mod service;
 pub mod sim;
 pub mod workload;
 
+pub use chaos::{ChaosConfig, FaultPlan};
 pub use error::ServeError;
 pub use fleet::{Fleet, ServerSpec};
 pub use policy::{policy_by_name, DispatchPolicy};
-pub use report::ServingReport;
+pub use report::{FaultAccounting, ServingReport};
 pub use service::{ServeConfig, ServiceCore};
 pub use sim::{simulate, SimOutcome};
 pub use workload::{JobSpec, Priority, WorkloadSpec};

@@ -9,11 +9,19 @@
 
 use std::fmt;
 
+use vtx_chaos::Health;
+
 use crate::cost::CostModel;
 use crate::fleet::Fleet;
 use crate::queue::PendingJob;
 use crate::rng::SplitMix64;
 use vtx_sched::hungarian;
+
+/// Cost multiplier the model-driven policies apply to servers the failure
+/// detector currently suspects: high enough that a suspected server is only
+/// chosen when nothing healthy is idle, low enough that the assignment
+/// matrix stays well-conditioned.
+pub const SUSPECT_PENALTY: f64 = 64.0;
 
 /// Everything a policy may look at when assigning.
 #[derive(Debug)]
@@ -24,6 +32,23 @@ pub struct DispatchCtx<'a> {
     pub model: &'a CostModel,
     /// Current time in microseconds.
     pub now_us: u64,
+    /// Failure-detector view per server, fleet order. `Down` servers never
+    /// appear in the idle set; `Suspected` ones do, and it is up to each
+    /// policy whether to care — the blind baselines (random, round-robin)
+    /// keep throwing work at suspects, which is exactly the behavior the
+    /// faulted study measures them on.
+    pub health: &'a [Health],
+}
+
+impl DispatchCtx<'_> {
+    /// `base` cost inflated by [`SUSPECT_PENALTY`] when `server` is
+    /// suspected (out-of-range indices count as up, for bare test contexts).
+    pub fn penalized(&self, base: f64, server: usize) -> f64 {
+        match self.health.get(server) {
+            Some(Health::Suspected) => base * SUSPECT_PENALTY,
+            _ => base,
+        }
+    }
 }
 
 /// An online dispatch policy.
@@ -164,7 +189,12 @@ impl DispatchPolicy for SmartPolicy {
             .iter()
             .map(|j| {
                 idle.iter()
-                    .map(|&s| ctx.model.predicted_us(&j.spec, ctx.fleet.server(s)) as f64)
+                    .map(|&s| {
+                        ctx.penalized(
+                            ctx.model.predicted_us(&j.spec, ctx.fleet.server(s)) as f64,
+                            s,
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -221,7 +251,12 @@ impl DispatchPolicy for PortPolicy {
             .iter()
             .map(|j| {
                 idle.iter()
-                    .map(|&s| ctx.model.port_predicted_us(&j.spec, ctx.fleet.server(s)) as f64)
+                    .map(|&s| {
+                        ctx.penalized(
+                            ctx.model.port_predicted_us(&j.spec, ctx.fleet.server(s)) as f64,
+                            s,
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -282,6 +317,7 @@ mod tests {
             fleet,
             model,
             now_us: 0,
+            health: &[],
         }
     }
 
@@ -381,6 +417,59 @@ mod tests {
         assert_eq!(policy_by_name("smart", 1).unwrap().name(), "smart");
         assert_eq!(policy_by_name("port", 1).unwrap().name(), "port");
         assert!(policy_by_name("oracle", 1).is_none());
+    }
+
+    #[test]
+    fn smart_steers_away_from_suspected_servers() {
+        let fleet = Fleet::table_iv();
+        let model = CostModel::new(42);
+        let j = pending(0, "hall", Preset::Medium);
+        let refs = vec![&j];
+        let idle = vec![0, 1, 2, 3, 4];
+        let mut p = SmartPolicy::new();
+        let best = idle
+            .iter()
+            .copied()
+            .min_by_key(|&s| model.predicted_us(&j.spec, fleet.server(s)))
+            .unwrap();
+        // Suspect the predicted-best server: smart must pick another one.
+        let mut health = vec![Health::Up; 5];
+        health[best] = Health::Suspected;
+        let ctx = DispatchCtx {
+            fleet: &fleet,
+            model: &model,
+            now_us: 0,
+            health: &health,
+        };
+        let a = p.assign(&refs, &idle, &ctx);
+        assert_eq!(a.len(), 1);
+        assert_ne!(idle[a[0].1], best, "suspected server is avoided");
+        // With everything suspected the penalty cancels out: still assigns.
+        let all = vec![Health::Suspected; 5];
+        let ctx = DispatchCtx {
+            fleet: &fleet,
+            model: &model,
+            now_us: 0,
+            health: &all,
+        };
+        assert_eq!(p.assign(&refs, &idle, &ctx).len(), 1);
+    }
+
+    #[test]
+    fn penalized_defaults_to_up_for_short_health_slices() {
+        let fleet = Fleet::table_iv();
+        let model = CostModel::new(1);
+        let c = ctx(&fleet, &model);
+        assert_eq!(c.penalized(10.0, 3), 10.0);
+        let health = [Health::Up, Health::Suspected];
+        let c = DispatchCtx {
+            fleet: &fleet,
+            model: &model,
+            now_us: 0,
+            health: &health,
+        };
+        assert_eq!(c.penalized(10.0, 1), 10.0 * SUSPECT_PENALTY);
+        assert_eq!(c.penalized(10.0, 0), 10.0);
     }
 
     #[test]

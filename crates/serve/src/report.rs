@@ -78,6 +78,30 @@ pub struct ServerStats {
     pub utilization: f64,
 }
 
+/// What the chaos layer injected and what recovery did about it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultAccounting {
+    /// Fail-stop crashes scheduled by the plan.
+    pub crashes: u64,
+    /// Fail-slow slowdown windows scheduled by the plan.
+    pub slowdowns: u64,
+    /// Transient stalls scheduled by the plan.
+    pub stalls: u64,
+    /// In-flight jobs requeued off servers declared down.
+    pub requeued: u64,
+    /// Hedged duplicate dispatches launched.
+    pub hedges_launched: u64,
+    /// Hedges that finished first (the duplicate won).
+    pub hedges_won: u64,
+    /// Hedge copies whose work was discarded (the other copy won or both
+    /// attempts timed out).
+    pub hedges_wasted: u64,
+    /// Dispatches whose preset the degradation ladder stepped down.
+    pub degraded_jobs: u64,
+    /// Highest ladder level reached during the run.
+    pub peak_degrade_level: u8,
+}
+
 /// Everything a serving run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -100,6 +124,18 @@ pub struct ServingReport {
     pub makespan_us: u64,
     /// Completed jobs per second of makespan.
     pub throughput_jps: f64,
+    /// Fraction of server-time the fleet was actually alive: 1.0 with no
+    /// crashes; a server that dies at 30% of the run contributes 0.3.
+    pub availability: f64,
+    /// *Useful* completions (completed minus SLO violations) per second of
+    /// makespan — throughput that counts only work the SLO got value from.
+    pub goodput_jps: f64,
+    /// Mean time-to-recovery: over every requeued in-flight job, the time
+    /// from its (doomed) dispatch to its requeue off the dead server.
+    /// Dominated by detection latency; 0 when nothing was ever lost.
+    pub mttr_us: u64,
+    /// Fault-injection and recovery accounting (all zero when no chaos).
+    pub faults: FaultAccounting,
     /// Sojourn time (arrival → completion) over all completed jobs.
     pub sojourn: LatencyStats,
     /// Sojourn time per service class, [`Priority::ALL`] order.
@@ -158,6 +194,23 @@ impl ServingReport {
             self.throughput_jps,
             self.shed_rate(),
             self.violation_rate()
+        ));
+        out.push_str(&format!(
+            "  availability={:.4} goodput_jps={:.4} mttr_us={}\n",
+            self.availability, self.goodput_jps, self.mttr_us
+        ));
+        let f = &self.faults;
+        out.push_str(&format!(
+            "  faults: crashes={} slowdowns={} stalls={} requeued={} hedges={}/{}/{} degraded={} peak_level={}\n",
+            f.crashes,
+            f.slowdowns,
+            f.stalls,
+            f.requeued,
+            f.hedges_launched,
+            f.hedges_won,
+            f.hedges_wasted,
+            f.degraded_jobs,
+            f.peak_degrade_level
         ));
         render_latency(&mut out, "sojourn(all)", &self.sojourn);
         for (p, stats) in Priority::ALL.iter().zip(self.sojourn_by_class.iter()) {
@@ -231,6 +284,14 @@ mod tests {
             retries: 2,
             makespan_us: 2_000_000,
             throughput_jps: 4.0,
+            availability: 0.875,
+            goodput_jps: 3.5,
+            mttr_us: 500_000,
+            faults: FaultAccounting {
+                crashes: 1,
+                requeued: 2,
+                ..FaultAccounting::default()
+            },
             sojourn: LatencyStats::from_samples(&[100, 200, 300]),
             sojourn_by_class: [
                 LatencyStats::from_samples(&[100]),
@@ -265,5 +326,10 @@ mod tests {
         assert!(text.contains("interactive"));
         assert!(text.contains("server baseline-0"));
         assert!(text.contains("shed_rate=0.2000"));
+        assert!(text.contains("availability=0.8750"));
+        assert!(text.contains("goodput_jps=3.5000"));
+        assert!(text.contains("mttr_us=500000"));
+        assert!(text.contains("faults: crashes=1"));
+        assert!(text.contains("requeued=2"));
     }
 }

@@ -11,13 +11,17 @@
 
 use serde::{Deserialize, Serialize};
 
+use vtx_chaos::degrade::{downgrade, DegradeLadder};
+use vtx_chaos::{FaultKind, Health};
+use vtx_telemetry::chaos as chaos_metrics;
 use vtx_telemetry::metrics;
 
+use crate::chaos::ChaosConfig;
 use crate::cost::CostModel;
 use crate::fleet::Fleet;
 use crate::policy::{DispatchCtx, DispatchPolicy};
 use crate::queue::{Admission, AdmissionQueue, PendingJob, QueueConfig, ShedReason};
-use crate::report::{LatencyStats, ServerStats, ServingReport};
+use crate::report::{FaultAccounting, LatencyStats, ServerStats, ServingReport};
 use crate::workload::{JobSpec, Priority};
 
 /// Service-layer tuning knobs.
@@ -31,6 +35,9 @@ pub struct ServeConfig {
     pub candidate_window: usize,
     /// Whether to keep the full event log (reports always work).
     pub collect_event_log: bool,
+    /// Fault injection and recovery (default: fully disabled — an
+    /// un-faulted run behaves and renders exactly as before).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +47,7 @@ impl Default for ServeConfig {
             max_retries: 1,
             candidate_window: 8,
             collect_event_log: true,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -107,6 +115,56 @@ pub enum EventRecord {
         /// 1-based attempt that timed out.
         attempt: u32,
     },
+    /// The fault plan injected a fault on a server.
+    Fault {
+        /// Timestamp (µs).
+        t: u64,
+        /// Server index in the fleet.
+        server: usize,
+        /// What kind of fault.
+        kind: FaultKind,
+    },
+    /// The failure detector started suspecting a server.
+    Suspect {
+        /// Timestamp (µs).
+        t: u64,
+        /// Server index in the fleet.
+        server: usize,
+    },
+    /// The failure detector declared a server down.
+    Down {
+        /// Timestamp (µs).
+        t: u64,
+        /// Server index in the fleet.
+        server: usize,
+    },
+    /// An in-flight job was recovered off a server declared down.
+    Requeue {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+        /// The dead server it was pulled from.
+        server: usize,
+        /// The (doomed) attempt it was on.
+        attempt: u32,
+    },
+    /// A hedged duplicate dispatch was launched.
+    Hedge {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+        /// Server the duplicate was placed on.
+        server: usize,
+    },
+    /// The graceful-degradation ladder changed level.
+    Degrade {
+        /// Timestamp (µs).
+        t: u64,
+        /// New ladder level (0 = full quality).
+        level: u8,
+    },
 }
 
 impl EventRecord {
@@ -118,7 +176,13 @@ impl EventRecord {
             | EventRecord::Shed { t, .. }
             | EventRecord::Dispatch { t, .. }
             | EventRecord::Complete { t, .. }
-            | EventRecord::Timeout { t, .. } => t,
+            | EventRecord::Timeout { t, .. }
+            | EventRecord::Fault { t, .. }
+            | EventRecord::Suspect { t, .. }
+            | EventRecord::Down { t, .. }
+            | EventRecord::Requeue { t, .. }
+            | EventRecord::Hedge { t, .. }
+            | EventRecord::Degrade { t, .. } => t,
         }
     }
 
@@ -153,6 +217,27 @@ impl EventRecord {
                 server,
                 attempt,
             } => format!("{t:>12} timeout  job={id} server={server} attempt={attempt}"),
+            EventRecord::Fault { t, server, kind } => {
+                format!("{t:>12} fault    server={server} kind={}", kind.name())
+            }
+            EventRecord::Suspect { t, server } => {
+                format!("{t:>12} suspect  server={server}")
+            }
+            EventRecord::Down { t, server } => {
+                format!("{t:>12} down     server={server}")
+            }
+            EventRecord::Requeue {
+                t,
+                id,
+                server,
+                attempt,
+            } => format!("{t:>12} requeue  job={id} server={server} attempt={attempt}"),
+            EventRecord::Hedge { t, id, server } => {
+                format!("{t:>12} hedge    job={id} server={server}")
+            }
+            EventRecord::Degrade { t, level } => {
+                format!("{t:>12} degrade  level={level}")
+            }
         }
     }
 }
@@ -178,6 +263,17 @@ pub struct ServiceCore {
     /// `(job id, server index)` in dispatch order — the serving analog of a
     /// Fig 9 assignment vector, asserted on by the determinism tests.
     assignments: Vec<(u64, usize)>,
+    /// Detector belief per server, fleet order (all `Up` without chaos).
+    health: Vec<Health>,
+    ladder: DegradeLadder,
+    peak_degrade: u8,
+    degraded_jobs: u64,
+    requeued: u64,
+    hedges_launched: u64,
+    hedges_won: u64,
+    hedges_wasted: u64,
+    /// Per requeued job: dispatch-to-requeue span (µs); mean = MTTR.
+    lost_spans: Vec<u64>,
 }
 
 impl ServiceCore {
@@ -190,6 +286,7 @@ impl ServiceCore {
     ) -> Self {
         let n = fleet.len();
         let queue = AdmissionQueue::new(cfg.queue.clone());
+        let ladder = DegradeLadder::new(cfg.chaos.degrade);
         ServiceCore {
             cfg,
             fleet,
@@ -207,6 +304,15 @@ impl ServiceCore {
             server_busy_us: vec![0; n],
             server_jobs: vec![0; n],
             assignments: Vec::new(),
+            health: vec![Health::Up; n],
+            ladder,
+            peak_degrade: 0,
+            degraded_jobs: 0,
+            requeued: 0,
+            hedges_launched: 0,
+            hedges_won: 0,
+            hedges_wasted: 0,
+            lost_spans: Vec::new(),
         }
     }
 
@@ -228,6 +334,120 @@ impl ServiceCore {
     /// Jobs currently queued.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The chaos configuration (drivers read the plan and detector from it).
+    pub fn chaos(&self) -> &ChaosConfig {
+        &self.cfg.chaos
+    }
+
+    /// Detector belief per server, fleet order.
+    pub fn health(&self) -> &[Health] {
+        &self.health
+    }
+
+    fn publish_health(&self) {
+        let up = self.health.iter().filter(|&&h| h == Health::Up).count();
+        chaos_metrics::publish_detector(up);
+    }
+
+    /// Marks a server suspected (no-op unless it is currently `Up`).
+    pub fn mark_suspected(&mut self, server: usize, now_us: u64) {
+        if self.health[server] == Health::Up {
+            self.health[server] = Health::Suspected;
+            self.record(EventRecord::Suspect { t: now_us, server });
+            self.publish_health();
+        }
+    }
+
+    /// Marks a server down (no-op if already down).
+    pub fn mark_down(&mut self, server: usize, now_us: u64) {
+        if self.health[server] != Health::Down {
+            self.health[server] = Health::Down;
+            self.record(EventRecord::Down { t: now_us, server });
+            self.publish_health();
+        }
+    }
+
+    /// Books one injected fault (the driver calls this when a planned fault
+    /// actually fires).
+    pub fn record_fault(&mut self, server: usize, kind: FaultKind, now_us: u64) {
+        chaos_metrics::faults_injected().add(1);
+        if kind == FaultKind::Crash {
+            chaos_metrics::crashes().add(1);
+        }
+        self.record(EventRecord::Fault {
+            t: now_us,
+            server,
+            kind,
+        });
+    }
+
+    /// Recovers an in-flight job off a server declared down: the attempt is
+    /// charged against the retry budget (the work is lost) but the dead
+    /// server is *not* billed busy time for it. The job rejoins the front
+    /// of its class queue if budget and deadline allow.
+    pub fn fail(&mut self, job: PendingJob, server: usize, started_us: u64, now_us: u64) {
+        self.requeued += 1;
+        self.lost_spans.push(now_us.saturating_sub(started_us));
+        chaos_metrics::requeues().add(1);
+        self.record(EventRecord::Requeue {
+            t: now_us,
+            id: job.spec.id,
+            server,
+            attempt: job.attempts,
+        });
+        if job.attempts > self.cfg.max_retries {
+            self.shed_job(&job, ShedReason::RetriesExhausted, now_us);
+            return;
+        }
+        if job.spec.deadline_us <= now_us {
+            self.shed_job(&job, ShedReason::Expired, now_us);
+            return;
+        }
+        match self.queue.offer_front(job) {
+            Admission::Admitted => {}
+            Admission::AdmittedDisplacing(victim) => {
+                self.shed_job(&victim, ShedReason::Displaced, now_us);
+            }
+            Admission::Refused(job) => {
+                self.shed_job(&job, ShedReason::QueueFull, now_us);
+            }
+        }
+    }
+
+    /// Books a hedged duplicate dispatch (the driver schedules the copy).
+    pub fn hedge_dispatch(&mut self, job: &PendingJob, server: usize, now_us: u64) {
+        self.hedges_launched += 1;
+        chaos_metrics::hedges().add(1);
+        self.record(EventRecord::Hedge {
+            t: now_us,
+            id: job.spec.id,
+            server,
+        });
+        self.assignments.push((job.spec.id, server));
+    }
+
+    /// Books a hedge copy whose work was discarded (the other copy won, or
+    /// both attempts timed out). The server still did the work, so it is
+    /// billed busy time.
+    pub fn hedge_discard(&mut self, server: usize, started_us: u64, now_us: u64) {
+        self.server_busy_us[server] += now_us.saturating_sub(started_us);
+        self.hedges_wasted += 1;
+    }
+
+    /// Books a completion that was won by the hedge copy, not the original.
+    pub fn note_hedge_won(&mut self) {
+        self.hedges_won += 1;
+    }
+
+    /// Sheds everything still queued. Called by drivers when the whole
+    /// fleet is down and nothing can ever be served again, so every
+    /// admitted job still reaches a terminal state.
+    pub fn shed_stranded(&mut self, now_us: u64) {
+        for job in self.queue.drain_all() {
+            self.shed_job(&job, ShedReason::Expired, now_us);
+        }
     }
 
     fn record(&mut self, ev: EventRecord) {
@@ -287,6 +507,29 @@ impl ServiceCore {
         for victim in self.queue.drop_expired(now_us) {
             self.shed_job(&victim, ShedReason::Expired, now_us);
         }
+        // Feed the degradation ladder: backlog vs detected-up capacity.
+        // A disabled ladder (the default) never leaves level 0, so the
+        // legacy path is untouched.
+        let up_capacity: f64 = self
+            .health
+            .iter()
+            .zip(self.fleet.servers())
+            .filter(|(&h, _)| h == Health::Up)
+            .map(|(_, s)| s.speed)
+            .sum();
+        let prev_level = self.ladder.level();
+        let level = self.ladder.observe(self.queue.len(), up_capacity);
+        if level != prev_level {
+            self.record(EventRecord::Degrade { t: now_us, level });
+            chaos_metrics::degrade_level_gauge().set(f64::from(level));
+            self.peak_degrade = self.peak_degrade.max(level);
+        }
+        // Never place work on a server the detector has declared down.
+        let idle: Vec<usize> = idle
+            .iter()
+            .copied()
+            .filter(|&s| self.health[s] != Health::Down)
+            .collect();
         if idle.is_empty() || self.queue.is_empty() {
             return Vec::new();
         }
@@ -296,9 +539,10 @@ impl ServiceCore {
                 fleet: &self.fleet,
                 model: &self.model,
                 now_us,
+                health: &self.health,
             };
             self.policy
-                .assign(&candidates, idle, &ctx)
+                .assign(&candidates, &idle, &ctx)
                 .into_iter()
                 .map(|(job_pos, idle_pos)| (candidates[job_pos].spec.id, idle[idle_pos]))
                 .collect()
@@ -313,6 +557,14 @@ impl ServiceCore {
             job.attempts += 1;
             if job.attempts > 1 {
                 self.retries += 1;
+            }
+            if level > 0 {
+                let from = job.spec.task.preset;
+                let to = downgrade(from, level);
+                if to != from {
+                    job.spec.task = job.spec.task.clone().with_preset(to);
+                    self.degraded_jobs += 1;
+                }
             }
             self.record(EventRecord::Dispatch {
                 t: now_us,
@@ -415,6 +667,49 @@ impl ServiceCore {
                 },
             })
             .collect();
+        // Availability: fraction of server-time the fleet was actually
+        // alive. A server that crashes at 30% of the run contributes 0.3;
+        // with no crashes (or a zero-length run) availability is 1.0.
+        let n = self.fleet.len();
+        let availability = if makespan_us == 0 || n == 0 {
+            1.0
+        } else {
+            let up: f64 = (0..n)
+                .map(|s| {
+                    let up_us = self
+                        .cfg
+                        .chaos
+                        .plan
+                        .crash_us(s)
+                        .map_or(makespan_us, |c| c.min(makespan_us));
+                    up_us as f64
+                })
+                .sum();
+            up / (n as f64 * makespan_us as f64)
+        };
+        let goodput = if makespan_us == 0 {
+            0.0
+        } else {
+            self.completed.saturating_sub(self.violations) as f64 / makespan_secs
+        };
+        let mttr_us = if self.lost_spans.is_empty() {
+            0
+        } else {
+            let sum: u128 = self.lost_spans.iter().map(|&v| u128::from(v)).sum();
+            (sum / self.lost_spans.len() as u128) as u64
+        };
+        let plan_counts = self.cfg.chaos.plan.counts();
+        let faults = FaultAccounting {
+            crashes: plan_counts.crashes,
+            slowdowns: plan_counts.slowdowns,
+            stalls: plan_counts.stalls,
+            requeued: self.requeued,
+            hedges_launched: self.hedges_launched,
+            hedges_won: self.hedges_won,
+            hedges_wasted: self.hedges_wasted,
+            degraded_jobs: self.degraded_jobs,
+            peak_degrade_level: self.peak_degrade,
+        };
         let report = ServingReport {
             policy: self.policy.name().to_owned(),
             seed,
@@ -425,6 +720,10 @@ impl ServiceCore {
             retries: self.retries,
             makespan_us,
             throughput_jps: throughput,
+            availability,
+            goodput_jps: goodput,
+            mttr_us,
+            faults,
             sojourn: LatencyStats::from_samples(&self.sojourns),
             sojourn_by_class: [
                 LatencyStats::from_samples(&self.sojourns_by_class[0]),

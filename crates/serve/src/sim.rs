@@ -5,10 +5,30 @@
 //! server)`. The event heap orders by `(time, sequence)` so ties break
 //! identically run-to-run; given the same workload, fleet and policy, two
 //! runs produce byte-identical event logs, assignment vectors and reports.
+//!
+//! # Fault injection
+//!
+//! When [`ServeConfig::chaos`] carries a [`FaultPlan`], the engine seeds
+//! the heap with the plan's events before any arrival (so at equal
+//! timestamps a crash always precedes the work it dooms):
+//!
+//! * **Crash** — the server stops making progress. Jobs already running
+//!   there (and jobs dispatched there before the failure detector notices)
+//!   are stuck until the detector's *down* verdict fires, at which point
+//!   they are requeued through [`ServiceCore::fail`]. That window — nothing
+//!   but detection latency — is exactly what the report's MTTR measures.
+//! * **Slowdown / stall** — service times are stretched through
+//!   [`FaultPlan::inflate`]; a stretched run that blows past the job's
+//!   timeout is killed at the timeout mark like any other slow run.
+//! * **Hedging** — an interactive job still in flight after
+//!   `hedge_after` of its deadline budget gets a duplicate on the best
+//!   detected-up idle server; first completion wins, the loser's work is
+//!   discarded (and billed — the server really did it).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
+use vtx_chaos::{FaultKind, FaultPlan, Health};
 use vtx_telemetry::Span;
 
 use crate::cost::CostModel;
@@ -18,7 +38,7 @@ use crate::policy::DispatchPolicy;
 use crate::queue::PendingJob;
 use crate::report::ServingReport;
 use crate::service::{EventRecord, ServeConfig, ServiceCore};
-use crate::workload::{JobSpec, WorkloadSpec};
+use crate::workload::{JobSpec, Priority, WorkloadSpec};
 
 /// What a simulated serving run produced.
 #[derive(Debug)]
@@ -31,17 +51,28 @@ pub struct SimOutcome {
     pub assignments: Vec<(u64, usize)>,
 }
 
-/// Heap payload. `Finish` carries everything needed to book the job so the
-/// engine never looks anything up out of order.
+/// Heap payload. `Finish` names a `(server, instance)` pair rather than
+/// carrying the job: the job lives in the engine's `running` slot so a
+/// crash (or requeue) can invalidate a stale finish without heap surgery.
 #[derive(Debug)]
 enum SimEvent {
     Arrive(JobSpec),
-    Finish {
-        job: PendingJob,
-        server: usize,
-        started_us: u64,
-        timed_out: bool,
-    },
+    Finish { server: usize, instance: u64 },
+    Crash { server: usize },
+    Note { server: usize, kind: FaultKind },
+    Suspect { server: usize },
+    Down { server: usize },
+    HedgeDue { id: u64 },
+}
+
+/// One in-flight copy of a job on one server.
+#[derive(Debug)]
+struct Running {
+    job: PendingJob,
+    started_us: u64,
+    instance: u64,
+    is_hedge: bool,
+    timed_out: bool,
 }
 
 /// Runs a workload through a fleet under a policy, fully simulated.
@@ -89,20 +120,79 @@ pub fn simulate_trace(
         a.u64("seed", seed);
     });
 
+    let plan: FaultPlan = cfg.chaos.plan.clone();
+    let detector = cfg.chaos.detector;
+    let hedge_after = cfg.chaos.hedge_after;
+
     let mut core = ServiceCore::new(cfg, fleet, model, policy);
     let n_servers = core.fleet().len();
-    let mut busy = vec![false; n_servers];
+    let mut running: Vec<Option<Running>> = (0..n_servers).map(|_| None).collect();
+    let mut crashed = vec![false; n_servers];
+    // Copies in flight per job id, and the ids already completed — the
+    // bookkeeping that makes hedged jobs terminate exactly once.
+    let mut copies: BTreeMap<u64, u8> = BTreeMap::new();
+    let mut done_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut instance: u64 = 0;
 
     // min-heap on (time, seq); seq is a tie-breaker making pop order total.
     let mut heap: BinaryHeap<Reverse<(u64, u64, SimEventBox)>> = BinaryHeap::new();
     let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, SimEventBox)>>,
+                seq: &mut u64,
+                t: u64,
+                ev: SimEvent| {
+        heap.push(Reverse((t, *seq, SimEventBox(ev))));
+        *seq += 1;
+    };
+    // Plan events first: at equal timestamps a fault precedes the arrival
+    // or finish it affects, and suspicion precedes the down verdict.
+    for server in 0..n_servers {
+        let faults = plan.server(server);
+        if let Some(c) = faults.crash_us {
+            push(&mut heap, &mut seq, c, SimEvent::Crash { server });
+            push(
+                &mut heap,
+                &mut seq,
+                detector.suspect_at(c),
+                SimEvent::Suspect { server },
+            );
+            push(
+                &mut heap,
+                &mut seq,
+                detector.down_at(c),
+                SimEvent::Down { server },
+            );
+        }
+        for w in &faults.slowdowns {
+            push(
+                &mut heap,
+                &mut seq,
+                w.from_us,
+                SimEvent::Note {
+                    server,
+                    kind: FaultKind::SlowDown,
+                },
+            );
+        }
+        for st in &faults.stalls {
+            push(
+                &mut heap,
+                &mut seq,
+                st.at_us,
+                SimEvent::Note {
+                    server,
+                    kind: FaultKind::Stall,
+                },
+            );
+        }
+    }
     for j in jobs {
-        heap.push(Reverse((
+        push(
+            &mut heap,
+            &mut seq,
             j.arrival_us,
-            seq,
-            SimEventBox(SimEvent::Arrive(j.clone())),
-        )));
-        seq += 1;
+            SimEvent::Arrive(j.clone()),
+        );
     }
 
     let mut now: u64 = 0;
@@ -112,46 +202,158 @@ pub fn simulate_trace(
             SimEvent::Arrive(spec) => {
                 core.offer(spec, now);
             }
+            SimEvent::Crash { server } => {
+                crashed[server] = true;
+                core.record_fault(server, FaultKind::Crash, now);
+                // Whatever is running there is stuck until detection; its
+                // pending Finish (if any) is ignored below.
+            }
+            SimEvent::Note { server, kind } => {
+                core.record_fault(server, kind, now);
+            }
+            SimEvent::Suspect { server } => {
+                core.mark_suspected(server, now);
+            }
+            SimEvent::Down { server } => {
+                core.mark_down(server, now);
+                if let Some(r) = running[server].take() {
+                    let id = r.job.spec.id;
+                    let left = copies
+                        .get_mut(&id)
+                        .map(|c| {
+                            *c -= 1;
+                            *c
+                        })
+                        .unwrap_or(0);
+                    if left == 0 {
+                        copies.remove(&id);
+                    }
+                    // Requeue only if no other copy can still finish it.
+                    if !done_ids.contains(&id) && left == 0 {
+                        core.fail(r.job, server, r.started_us, now);
+                    }
+                }
+            }
             SimEvent::Finish {
-                job,
                 server,
-                started_us,
-                timed_out,
+                instance: i,
             } => {
-                busy[server] = false;
-                if timed_out {
-                    core.timeout(job, server, started_us, now);
+                let stale = running[server].as_ref().is_none_or(|r| r.instance != i);
+                if stale || crashed[server] {
+                    // Stale finish, or the server died mid-run: the job (if
+                    // still held) stays stuck until the down verdict.
                 } else {
-                    core.complete(&job, server, started_us, now);
+                    let r = running[server].take().expect("checked above");
+                    let id = r.job.spec.id;
+                    let left = copies
+                        .get_mut(&id)
+                        .map(|c| {
+                            *c -= 1;
+                            *c
+                        })
+                        .unwrap_or(0);
+                    if left == 0 {
+                        copies.remove(&id);
+                    }
+                    if done_ids.contains(&id) {
+                        // The other copy already won; this work is wasted.
+                        core.hedge_discard(server, r.started_us, now);
+                    } else if r.timed_out {
+                        if left > 0 {
+                            // A copy is still running; let it decide the
+                            // job's fate, just bill this server's time.
+                            core.hedge_discard(server, r.started_us, now);
+                        } else {
+                            core.timeout(r.job, server, r.started_us, now);
+                        }
+                    } else {
+                        core.complete(&r.job, server, r.started_us, now);
+                        done_ids.insert(id);
+                        if r.is_hedge {
+                            core.note_hedge_won();
+                        }
+                    }
+                }
+            }
+            SimEvent::HedgeDue { id } => {
+                // Fire only if exactly the original copy is still in
+                // flight (not done, not requeued, not already hedged).
+                if !done_ids.contains(&id) && copies.get(&id) == Some(&1) {
+                    let origin = (0..n_servers)
+                        .find(|&s| running[s].as_ref().is_some_and(|r| r.job.spec.id == id));
+                    if let Some(origin) = origin {
+                        let pick = (0..n_servers)
+                            .filter(|&s| running[s].is_none() && core.health()[s] == Health::Up)
+                            .min_by_key(|&s| {
+                                let job = &running[origin].as_ref().expect("found above").job;
+                                (
+                                    core.model().predicted_us(&job.spec, core.fleet().server(s)),
+                                    s,
+                                )
+                            });
+                        if let Some(server) = pick {
+                            let job = running[origin].as_ref().expect("found above").job.clone();
+                            core.hedge_dispatch(&job, server, now);
+                            copies.insert(id, 2);
+                            instance += 1;
+                            start_copy(
+                                &mut running,
+                                &mut heap,
+                                &mut seq,
+                                &core,
+                                &plan,
+                                &crashed,
+                                job,
+                                server,
+                                now,
+                                instance,
+                                true,
+                            );
+                        }
+                    }
                 }
             }
         }
         // Every state change is a dispatch opportunity.
-        let idle: Vec<usize> = (0..n_servers).filter(|&s| !busy[s]).collect();
+        let idle: Vec<usize> = (0..n_servers).filter(|&s| running[s].is_none()).collect();
         for (job, server) in core.dispatch(&idle, now) {
-            busy[server] = true;
-            let true_us = core
-                .model()
-                .true_us(&job.spec, server, core.fleet().server(server));
-            // A run longer than the job's timeout is killed at the timeout
-            // mark; the server is occupied (and billed) until then.
-            let (dur, timed_out) = if true_us > job.spec.timeout_us {
-                (job.spec.timeout_us, true)
-            } else {
-                (true_us, false)
-            };
-            heap.push(Reverse((
-                now.saturating_add(dur),
-                seq,
-                SimEventBox(SimEvent::Finish {
-                    job,
-                    server,
-                    started_us: now,
-                    timed_out,
-                }),
-            )));
-            seq += 1;
+            let id = job.spec.id;
+            *copies.entry(id).or_insert(0) += 1;
+            // Arm the hedge trigger on the first dispatch of an
+            // interactive job.
+            if hedge_after < 1.0 && job.spec.priority == Priority::Interactive && job.attempts == 1
+            {
+                let budget = job.spec.deadline_us.saturating_sub(job.spec.arrival_us);
+                let due = job
+                    .spec
+                    .arrival_us
+                    .saturating_add((budget as f64 * hedge_after) as u64);
+                if due > now && due < job.spec.deadline_us {
+                    heap.push(Reverse((due, seq, SimEventBox(SimEvent::HedgeDue { id }))));
+                    seq += 1;
+                }
+            }
+            instance += 1;
+            start_copy(
+                &mut running,
+                &mut heap,
+                &mut seq,
+                &core,
+                &plan,
+                &crashed,
+                job,
+                server,
+                now,
+                instance,
+                false,
+            );
         }
+    }
+
+    // The fleet may have died with work still queued; settle the books so
+    // every admitted job reaches a terminal state.
+    if core.queued() > 0 {
+        core.shed_stranded(now);
     }
 
     let assignments = core.assignments().to_vec();
@@ -161,6 +363,60 @@ pub fn simulate_trace(
         event_log,
         assignments,
     })
+}
+
+/// Starts one copy of a job on a server: on a live server the finish time
+/// is the fault-inflated service time (capped at the job's timeout); on a
+/// crashed-but-undetected server the copy is simply stuck — no finish is
+/// scheduled and the down verdict will requeue it.
+#[allow(clippy::too_many_arguments)]
+fn start_copy(
+    running: &mut [Option<Running>],
+    heap: &mut BinaryHeap<Reverse<(u64, u64, SimEventBox)>>,
+    seq: &mut u64,
+    core: &ServiceCore,
+    plan: &FaultPlan,
+    crashed: &[bool],
+    job: PendingJob,
+    server: usize,
+    now: u64,
+    instance: u64,
+    is_hedge: bool,
+) {
+    if crashed[server] {
+        running[server] = Some(Running {
+            job,
+            started_us: now,
+            instance,
+            is_hedge,
+            timed_out: false,
+        });
+        return;
+    }
+    let true_us = core
+        .model()
+        .true_us(&job.spec, server, core.fleet().server(server));
+    let wall = plan.inflate(server, now, true_us);
+    // A run longer than the job's timeout is killed at the timeout mark;
+    // the server is occupied (and billed) until then.
+    let (dur, timed_out) = if wall > job.spec.timeout_us {
+        (job.spec.timeout_us, true)
+    } else {
+        (wall, false)
+    };
+    running[server] = Some(Running {
+        job,
+        started_us: now,
+        instance,
+        is_hedge,
+        timed_out,
+    });
+    heap.push(Reverse((
+        now.saturating_add(dur),
+        *seq,
+        SimEventBox(SimEvent::Finish { server, instance }),
+    )));
+    *seq += 1;
 }
 
 /// Wrapper giving [`SimEvent`] the `Ord` the heap needs without imposing a
@@ -189,6 +445,7 @@ impl Ord for SimEventBox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosConfig;
     use crate::policy::policy_by_name;
     use crate::service::render_event_log;
 
@@ -239,6 +496,15 @@ mod tests {
         let a = run("smart", 42);
         let b = run("smart", 43);
         assert_ne!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn unfaulted_run_reports_clean_chaos_fields() {
+        let out = run("smart", 42);
+        assert_eq!(out.report.availability, 1.0);
+        assert_eq!(out.report.mttr_us, 0);
+        assert_eq!(out.report.faults, crate::report::FaultAccounting::default());
+        assert!(out.report.goodput_jps <= out.report.throughput_jps);
     }
 
     #[test]
@@ -302,6 +568,78 @@ mod tests {
         assert!(
             out.report.shed_total() > 0,
             "1-deep queues under a 60-job burst must shed"
+        );
+    }
+
+    fn faulted(policy: &str, seed: u64) -> SimOutcome {
+        let w = WorkloadSpec::smoke(seed);
+        let jobs = w.generate().unwrap();
+        let horizon = jobs.iter().map(|j| j.arrival_us).max().unwrap();
+        let fleet = Fleet::sized(8).unwrap();
+        let cfg = ServeConfig {
+            chaos: ChaosConfig::kill_two_straggle_one(seed, 8, horizon),
+            ..ServeConfig::default()
+        };
+        simulate_trace(
+            &jobs,
+            seed,
+            fleet,
+            policy_by_name(policy, seed).unwrap(),
+            cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn faulted_fleet_keeps_serving_and_accounts_every_job() {
+        let out = faulted("smart", 42);
+        let r = &out.report;
+        assert_eq!(r.offered, 60);
+        assert_eq!(
+            r.completed + r.shed_total(),
+            r.offered,
+            "every admitted job reaches exactly one terminal state"
+        );
+        assert!(r.completed > 0, "the surviving fleet keeps serving");
+        assert_eq!(r.faults.crashes, 2);
+        assert_eq!(r.faults.slowdowns, 1);
+        assert!(r.availability > 0.0 && r.availability < 1.0);
+        assert!(r.goodput_jps <= r.throughput_jps);
+    }
+
+    #[test]
+    fn faulted_runs_are_byte_identical() {
+        for policy in ["random", "smart"] {
+            let a = faulted(policy, 42);
+            let b = faulted(policy, 42);
+            assert_eq!(a.report, b.report, "{policy}");
+            assert_eq!(
+                render_event_log(&a.event_log),
+                render_event_log(&b.event_log),
+                "{policy}"
+            );
+            assert_eq!(a.report.render(), b.report.render(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn crashes_requeue_in_flight_jobs() {
+        let out = faulted("rr", 42);
+        let has_requeue = out
+            .event_log
+            .iter()
+            .any(|e| matches!(e, EventRecord::Requeue { .. }));
+        if has_requeue {
+            assert!(out.report.faults.requeued > 0);
+            assert!(out.report.mttr_us > 0, "requeues imply a recovery span");
+        }
+        // Detector verdicts always fire for crashed servers.
+        assert_eq!(
+            out.event_log
+                .iter()
+                .filter(|e| matches!(e, EventRecord::Down { .. }))
+                .count(),
+            2
         );
     }
 }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod chrome;
 mod clock;
 mod collector;

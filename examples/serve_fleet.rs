@@ -7,18 +7,25 @@
 //! jobs on worker threads through the same service core (wall-clock, so
 //! not byte-reproducible).
 //!
+//! `--faults` switches on the chaos study: an 8-way fleet where two
+//! servers are killed at 30% of the run and a third is a 3× fail-slow
+//! straggler, with hedged re-dispatch and the graceful-degradation ladder
+//! armed. Still a pure function of the seed — the CI `chaos-determinism`
+//! job byte-compares two faulted runs.
+//!
 //! ```text
 //! cargo run --release --example serve_fleet -- [--seed N] [--smoke]
-//!     [--policy random|rr|smart|port|all] [--real] [--trace-out FILE]
-//!     [--dump-trace FILE]
+//!     [--policy random|rr|smart|port|all] [--real] [--faults]
+//!     [--trace-out FILE] [--dump-trace FILE]
 //! ```
 
 use vtx_core::trace_export;
+use vtx_serve::chaos::{ChaosConfig, DegradeConfig, FaultPlan};
 use vtx_serve::exec::{run_real, ExecConfig};
 use vtx_serve::fleet::Fleet;
 use vtx_serve::policy::policy_by_name;
 use vtx_serve::service::{render_event_log, ServeConfig};
-use vtx_serve::sim::simulate;
+use vtx_serve::sim::simulate_trace;
 use vtx_serve::workload::{render_trace, WorkloadSpec};
 use vtx_telemetry::Collector;
 
@@ -27,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut seed = 42u64;
     let mut smoke = false;
     let mut real = false;
+    let mut faults = false;
     let mut policy_arg = "all".to_owned();
     let mut dump_trace: Option<String> = None;
 
@@ -38,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--smoke" => smoke = true,
             "--real" => real = true,
+            "--faults" => faults = true,
             "--policy" => {
                 policy_arg = args.next().ok_or("--policy needs a value")?;
             }
@@ -68,10 +77,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workload.videos.len(),
             Fleet::table_iv().len()
         );
-        let cfg = ExecConfig {
+        let mut cfg = ExecConfig {
             arrival_compression: 20,
             ..ExecConfig::default()
         };
+        if faults {
+            // Kill one real worker thread early: the detector notices the
+            // missing heartbeats and the service requeues its lost work.
+            cfg.serve.chaos = ChaosConfig {
+                plan: FaultPlan::none(Fleet::table_iv().len())
+                    .with_crash(2, 40_000)
+                    .expect("index in range"),
+                ..ChaosConfig::default()
+            };
+            println!("faults: worker 2 killed 40 ms into the run");
+        }
         for name in policies {
             let policy =
                 policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
@@ -89,17 +109,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::fs::write(path, render_trace(&jobs))?;
             println!("wrote {} trace lines to {path}", jobs.len());
         }
+        let fleet = if faults {
+            Fleet::sized(8)?
+        } else {
+            Fleet::table_iv()
+        };
         println!(
-            "simulated fleet: {} jobs at {} Hz over {} videos, fleet = Table IV ({} servers)",
+            "simulated fleet: {} jobs at {} Hz over {} videos, {} servers{}",
             workload.jobs,
             workload.arrival_rate_hz,
             workload.videos.len(),
-            Fleet::table_iv().len()
+            fleet.len(),
+            if faults {
+                " — kill 2 at 30% + one 3x straggler, hedging + degradation armed"
+            } else {
+                " (Table IV)"
+            }
         );
+        let jobs = workload.generate()?;
+        let horizon = jobs.iter().map(|j| j.arrival_us).max().unwrap_or(0);
+        let cfg = if faults {
+            ServeConfig {
+                chaos: ChaosConfig {
+                    hedge_after: 0.5,
+                    degrade: DegradeConfig {
+                        enabled: true,
+                        ..DegradeConfig::default()
+                    },
+                    ..ChaosConfig::kill_two_straggle_one(seed, fleet.len(), horizon)
+                },
+                ..ServeConfig::default()
+            }
+        } else {
+            ServeConfig::default()
+        };
         for name in policies {
             let policy =
                 policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
-            let out = simulate(&workload, Fleet::table_iv(), policy, ServeConfig::default())?;
+            let out = simulate_trace(&jobs, seed, fleet.clone(), policy, cfg.clone())?;
             println!("\n{}", out.report.render());
             if smoke {
                 // The smoke event log is small enough to print whole; the CI

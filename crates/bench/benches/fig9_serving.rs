@@ -6,6 +6,7 @@
 //! policy optimizes the true objective while `smart` optimizes a
 //! port-blind approximation of it.
 
+use vtx_obs::{milli, BenchTrajectory, TrajectoryRow};
 use vtx_serve::chaos::ChaosConfig;
 use vtx_serve::fleet::Fleet;
 use vtx_serve::policy::policy_by_name;
@@ -13,6 +14,38 @@ use vtx_serve::report::ServingReport;
 use vtx_serve::service::ServeConfig;
 use vtx_serve::sim::{simulate, simulate_trace};
 use vtx_serve::workload::WorkloadSpec;
+
+/// Flatten one run (exact report + observability plane) into a trajectory
+/// row — every field integral so the artifact byte-compares across runs.
+fn trajectory_row(scenario: &str, r: &ServingReport, alerts: u64, wall_ms: u64) -> TrajectoryRow {
+    TrajectoryRow {
+        scenario: scenario.to_owned(),
+        policy: r.policy.clone(),
+        seed: r.seed,
+        offered: r.offered,
+        completed: r.completed,
+        slo_violations: r.slo_violations,
+        shed: r.shed_total(),
+        p50_sojourn_us: r.sojourn.p50_us,
+        p99_sojourn_us: r.sojourn.p99_us,
+        throughput_milli_jps: milli(r.throughput_jps),
+        goodput_milli_jps: milli(r.goodput_jps),
+        availability_milli: milli(r.availability),
+        alerts,
+        makespan_us: r.makespan_us,
+        wall_ms,
+    }
+}
+
+/// Wall-clock per scenario, but only when `VTX_TRAJ_WALL=1` asked for it —
+/// the default artifact stays byte-identical across machines and runs.
+fn elapsed_wall_ms(start: std::time::Instant) -> u64 {
+    if vtx_obs::wall_clock_enabled() {
+        start.elapsed().as_millis() as u64
+    } else {
+        0
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     vtx_bench::banner("Figure 9 (serving): dispatch policies on tail latency");
@@ -28,9 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut reports: Vec<ServingReport> = Vec::new();
+    let mut alert_counts: Vec<u64> = Vec::new();
+    let mut walls: Vec<u64> = Vec::new();
     for name in ["random", "round_robin", "smart", "port"] {
         let policy = policy_by_name(name, workload.seed).expect("known policy");
+        let start = std::time::Instant::now();
         let out = simulate(&workload, Fleet::table_iv(), policy, ServeConfig::default())?;
+        walls.push(elapsed_wall_ms(start));
+        alert_counts.push(out.obs.alerts().len() as u64);
         reports.push(out.report);
     }
 
@@ -84,13 +122,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jobs = workload.generate()?;
     let horizon = jobs.iter().map(|j| j.arrival_us).max().unwrap_or(0);
     let mut faulted: Vec<ServingReport> = Vec::new();
+    let mut f_alert_counts: Vec<u64> = Vec::new();
+    let mut f_walls: Vec<u64> = Vec::new();
     for name in ["random", "round_robin", "smart", "port"] {
         let policy = policy_by_name(name, workload.seed).expect("known policy");
         let cfg = ServeConfig {
             chaos: ChaosConfig::kill_two_straggle_one(workload.seed, 8, horizon),
             ..ServeConfig::default()
         };
+        let start = std::time::Instant::now();
         let out = simulate_trace(&jobs, workload.seed, Fleet::sized(8)?, policy, cfg)?;
+        f_walls.push(elapsed_wall_ms(start));
+        f_alert_counts.push(out.obs.alerts().len() as u64);
         faulted.push(out.report);
     }
 
@@ -136,5 +179,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     vtx_bench::save_json("fig9_serving", &reports);
     vtx_bench::save_json("fig9_serving_faulted", &faulted);
+
+    // Machine-readable trajectory: one row per (scenario, policy), every
+    // field integral, schema-validated before it is written. CI regenerates
+    // this file and byte-compares it against the committed BENCH_serving.json.
+    let mut traj = BenchTrajectory::new("fig9_serving");
+    for (i, r) in reports.iter().enumerate() {
+        traj.push(trajectory_row("baseline", r, alert_counts[i], walls[i]));
+    }
+    for (i, r) in faulted.iter().enumerate() {
+        traj.push(trajectory_row("faulted", r, f_alert_counts[i], f_walls[i]));
+    }
+    let json = traj.to_json();
+    BenchTrajectory::validate_str(&json).expect("trajectory validates against its own schema");
+    let path = vtx_bench::results_dir().join("BENCH_serving.json");
+    std::fs::write(&path, &json)?;
+    println!("[artifact] {}", path.display());
     Ok(())
 }

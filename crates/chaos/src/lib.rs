@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cause;
 pub mod degrade;
 pub mod detector;
 pub mod error;
 pub mod plan;
 pub mod rng;
 
+pub use cause::Cause;
 pub use degrade::{DegradeConfig, DegradeLadder};
 pub use detector::{DetectorConfig, FailureDetector, Health};
 pub use error::ChaosError;

@@ -390,7 +390,7 @@ pub fn run_real_trace(
                     Ok(()) => {
                         if done_ids.contains(&id) {
                             // The other copy already won; bill the work.
-                            core.hedge_discard(done.server, done.started_us, t);
+                            core.hedge_discard(id, done.server, done.started_us, t);
                         } else {
                             core.complete(&done.job, done.server, done.started_us, t);
                             done_ids.insert(id);
@@ -401,7 +401,7 @@ pub fn run_real_trace(
                     }
                     Err(_) => {
                         if done_ids.contains(&id) || left > 0 {
-                            core.hedge_discard(done.server, done.started_us, t);
+                            core.hedge_discard(id, done.server, done.started_us, t);
                         } else {
                             core.timeout(done.job, done.server, done.started_us, t);
                         }
@@ -428,11 +428,12 @@ pub fn run_real_trace(
     }
 
     let assignments = core.assignments().to_vec();
-    let (report, event_log) = core.into_report(seed, makespan);
+    let (report, event_log, obs) = core.finish(seed, makespan);
     Ok(SimOutcome {
         report,
         event_log,
         assignments,
+        obs,
     })
 }
 

@@ -39,6 +39,12 @@
 //!   class, and a graceful-degradation ladder that steps the x264 preset
 //!   toward `ultrafast` when detected capacity drops below offered load.
 //!
+//! Every run also feeds an observability plane (`vtx-obs`) through the
+//! shared service core: per-job lifecycle traces (exportable as Chrome
+//! trace-event tracks), windowed per-class quantile sketches, and a
+//! multi-window SLO burn-rate monitor whose alert transitions appear in
+//! the deterministic event stream and attribute degrade steps.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -81,6 +87,6 @@ pub use error::ServeError;
 pub use fleet::{Fleet, ServerSpec};
 pub use policy::{policy_by_name, DispatchPolicy};
 pub use report::{FaultAccounting, ServingReport};
-pub use service::{ServeConfig, ServiceCore};
+pub use service::{ServeConfig, ServiceCore, CLASS_NAMES};
 pub use sim::{simulate, SimOutcome};
 pub use workload::{JobSpec, Priority, WorkloadSpec};

@@ -31,7 +31,16 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Computes stats from unsorted samples (empty → all zeros).
+    /// Computes stats from unsorted samples.
+    ///
+    /// # Empty input
+    ///
+    /// An empty slice yields the all-zero stats block (`count == 0`,
+    /// every quantile 0) rather than a panic or sentinel — the same
+    /// contract as `vtx_telemetry::metrics::Histogram::quantile` and
+    /// `vtx_obs::QuantileSketch::quantile_permille`. Renderers and the
+    /// bench trajectory rely on this: a class that served no jobs prints
+    /// a zero row and stays byte-deterministic.
     pub fn from_samples(samples: &[u64]) -> Self {
         if samples.is_empty() {
             return LatencyStats {
@@ -240,9 +249,31 @@ mod tests {
     #[test]
     fn empty_stats_are_all_zero() {
         let s = LatencyStats::from_samples(&[]);
-        assert_eq!(s.count, 0);
-        assert_eq!(s.p99_us, 0);
-        assert_eq!(s.max_us, 0);
+        assert_eq!(
+            s,
+            LatencyStats {
+                count: 0,
+                mean_us: 0,
+                min_us: 0,
+                p50_us: 0,
+                p90_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            },
+            "empty input must yield the all-zero block, field by field"
+        );
+    }
+
+    #[test]
+    fn empty_stats_render_without_panicking() {
+        // A class that served nothing must still produce a stable line.
+        let mut out = String::new();
+        render_latency(&mut out, "empty", &LatencyStats::from_samples(&[]));
+        assert!(out.contains("n=0"));
+        assert!(out.contains("p99=0"));
+        let mut again = String::new();
+        render_latency(&mut again, "empty", &LatencyStats::from_samples(&[]));
+        assert_eq!(out, again);
     }
 
     #[test]

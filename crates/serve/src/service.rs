@@ -12,7 +12,8 @@
 use serde::{Deserialize, Serialize};
 
 use vtx_chaos::degrade::{downgrade, DegradeLadder};
-use vtx_chaos::{FaultKind, Health};
+use vtx_chaos::{Cause, FaultKind, Health};
+use vtx_obs::{AlertTransition, ObsConfig, ObsPlane};
 use vtx_telemetry::chaos as chaos_metrics;
 use vtx_telemetry::metrics;
 
@@ -38,6 +39,10 @@ pub struct ServeConfig {
     /// Fault injection and recovery (default: fully disabled — an
     /// un-faulted run behaves and renders exactly as before).
     pub chaos: ChaosConfig,
+    /// Observability plane: per-job tracing, windowed quantiles and SLO
+    /// burn-rate alerting (enabled by default; alerting only changes the
+    /// event stream when an SLO actually burns).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -48,9 +53,14 @@ impl Default for ServeConfig {
             candidate_window: 8,
             collect_event_log: true,
             chaos: ChaosConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
+
+/// Service-class names in [`Priority::index`] order, used by the
+/// observability plane's renderers.
+pub const CLASS_NAMES: [&str; 3] = ["interactive", "standard", "batch"];
 
 /// One service-layer event, timestamped in microseconds.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -130,6 +140,8 @@ pub enum EventRecord {
         t: u64,
         /// Server index in the fleet.
         server: usize,
+        /// Why the transition happened.
+        cause: Cause,
     },
     /// The failure detector declared a server down.
     Down {
@@ -137,6 +149,8 @@ pub enum EventRecord {
         t: u64,
         /// Server index in the fleet.
         server: usize,
+        /// Why the transition happened.
+        cause: Cause,
     },
     /// An in-flight job was recovered off a server declared down.
     Requeue {
@@ -164,6 +178,21 @@ pub enum EventRecord {
         t: u64,
         /// New ladder level (0 = full quality).
         level: u8,
+        /// Why the step was taken.
+        cause: Cause,
+    },
+    /// An SLO burn-rate alert changed state (see `vtx_obs::slo`).
+    Alert {
+        /// Timestamp (µs).
+        t: u64,
+        /// Service class the alert concerns.
+        class: Priority,
+        /// `true` = started firing, `false` = cleared.
+        firing: bool,
+        /// Fast-window burn rate, milli-multiples of the error budget.
+        fast_burn_milli: u64,
+        /// Slow-window burn rate, milli-multiples of the error budget.
+        slow_burn_milli: u64,
     },
 }
 
@@ -182,7 +211,8 @@ impl EventRecord {
             | EventRecord::Down { t, .. }
             | EventRecord::Requeue { t, .. }
             | EventRecord::Hedge { t, .. }
-            | EventRecord::Degrade { t, .. } => t,
+            | EventRecord::Degrade { t, .. }
+            | EventRecord::Alert { t, .. } => t,
         }
     }
 
@@ -220,11 +250,11 @@ impl EventRecord {
             EventRecord::Fault { t, server, kind } => {
                 format!("{t:>12} fault    server={server} kind={}", kind.name())
             }
-            EventRecord::Suspect { t, server } => {
-                format!("{t:>12} suspect  server={server}")
+            EventRecord::Suspect { t, server, cause } => {
+                format!("{t:>12} suspect  server={server} cause={}", cause.name())
             }
-            EventRecord::Down { t, server } => {
-                format!("{t:>12} down     server={server}")
+            EventRecord::Down { t, server, cause } => {
+                format!("{t:>12} down     server={server} cause={}", cause.name())
             }
             EventRecord::Requeue {
                 t,
@@ -235,8 +265,21 @@ impl EventRecord {
             EventRecord::Hedge { t, id, server } => {
                 format!("{t:>12} hedge    job={id} server={server}")
             }
-            EventRecord::Degrade { t, level } => {
-                format!("{t:>12} degrade  level={level}")
+            EventRecord::Degrade { t, level, cause } => {
+                format!("{t:>12} degrade  level={level} cause={}", cause.name())
+            }
+            EventRecord::Alert {
+                t,
+                class,
+                firing,
+                fast_burn_milli,
+                slow_burn_milli,
+            } => {
+                let state = if *firing { "FIRING" } else { "ok" };
+                format!(
+                    "{t:>12} alert    class={} state={state} fast_burn_milli={fast_burn_milli} slow_burn_milli={slow_burn_milli}",
+                    class.name()
+                )
             }
         }
     }
@@ -274,6 +317,8 @@ pub struct ServiceCore {
     hedges_wasted: u64,
     /// Per requeued job: dispatch-to-requeue span (µs); mean = MTTR.
     lost_spans: Vec<u64>,
+    /// Observability plane fed by every entry point (see `vtx-obs`).
+    obs: ObsPlane,
 }
 
 impl ServiceCore {
@@ -287,6 +332,7 @@ impl ServiceCore {
         let n = fleet.len();
         let queue = AdmissionQueue::new(cfg.queue.clone());
         let ladder = DegradeLadder::new(cfg.chaos.degrade);
+        let obs = ObsPlane::new(cfg.obs.clone(), Priority::ALL.len());
         ServiceCore {
             cfg,
             fleet,
@@ -313,7 +359,25 @@ impl ServiceCore {
             hedges_won: 0,
             hedges_wasted: 0,
             lost_spans: Vec::new(),
+            obs,
         }
+    }
+
+    /// The observability plane (read-only; entry points feed it).
+    pub fn obs(&self) -> &ObsPlane {
+        &self.obs
+    }
+
+    /// Folds a burn-rate transition into the event log as an `Alert`.
+    fn record_alert(&mut self, tr: AlertTransition) {
+        metrics::counter("serve/alert_transitions").add(1);
+        self.record(EventRecord::Alert {
+            t: tr.t_us,
+            class: Priority::ALL[tr.class.min(Priority::ALL.len() - 1)],
+            firing: tr.firing,
+            fast_burn_milli: tr.fast_burn_milli,
+            slow_burn_milli: tr.slow_burn_milli,
+        });
     }
 
     /// The fleet this core serves.
@@ -355,7 +419,11 @@ impl ServiceCore {
     pub fn mark_suspected(&mut self, server: usize, now_us: u64) {
         if self.health[server] == Health::Up {
             self.health[server] = Health::Suspected;
-            self.record(EventRecord::Suspect { t: now_us, server });
+            self.record(EventRecord::Suspect {
+                t: now_us,
+                server,
+                cause: Cause::HeartbeatMiss,
+            });
             self.publish_health();
         }
     }
@@ -364,7 +432,11 @@ impl ServiceCore {
     pub fn mark_down(&mut self, server: usize, now_us: u64) {
         if self.health[server] != Health::Down {
             self.health[server] = Health::Down;
-            self.record(EventRecord::Down { t: now_us, server });
+            self.record(EventRecord::Down {
+                t: now_us,
+                server,
+                cause: Cause::HeartbeatMiss,
+            });
             self.publish_health();
         }
     }
@@ -391,6 +463,7 @@ impl ServiceCore {
         self.requeued += 1;
         self.lost_spans.push(now_us.saturating_sub(started_us));
         chaos_metrics::requeues().add(1);
+        self.obs.on_requeue(now_us, job.spec.id, server);
         self.record(EventRecord::Requeue {
             t: now_us,
             id: job.spec.id,
@@ -420,6 +493,7 @@ impl ServiceCore {
     pub fn hedge_dispatch(&mut self, job: &PendingJob, server: usize, now_us: u64) {
         self.hedges_launched += 1;
         chaos_metrics::hedges().add(1);
+        self.obs.on_hedge(now_us, job.spec.id, server);
         self.record(EventRecord::Hedge {
             t: now_us,
             id: job.spec.id,
@@ -428,12 +502,13 @@ impl ServiceCore {
         self.assignments.push((job.spec.id, server));
     }
 
-    /// Books a hedge copy whose work was discarded (the other copy won, or
-    /// both attempts timed out). The server still did the work, so it is
-    /// billed busy time.
-    pub fn hedge_discard(&mut self, server: usize, started_us: u64, now_us: u64) {
+    /// Books a hedge copy of job `id` whose work was discarded (the other
+    /// copy won, or both attempts timed out). The server still did the
+    /// work, so it is billed busy time.
+    pub fn hedge_discard(&mut self, id: u64, server: usize, started_us: u64, now_us: u64) {
         self.server_busy_us[server] += now_us.saturating_sub(started_us);
         self.hedges_wasted += 1;
+        self.obs.on_hedge_discard(now_us, id, server);
     }
 
     /// Books a completion that was won by the hedge copy, not the original.
@@ -459,11 +534,20 @@ impl ServiceCore {
     fn shed_job(&mut self, job: &PendingJob, reason: ShedReason, now_us: u64) {
         self.shed[reason as usize] += 1;
         metrics::counter("serve/shed").add(1);
+        let alert = self.obs.on_shed(
+            now_us,
+            job.spec.id,
+            job.spec.priority.index(),
+            reason.name(),
+        );
         self.record(EventRecord::Shed {
             t: now_us,
             id: job.spec.id,
             reason,
         });
+        if let Some(tr) = alert {
+            self.record_alert(tr);
+        }
     }
 
     /// Offers an arriving job to admission control.
@@ -472,6 +556,7 @@ impl ServiceCore {
         metrics::counter("serve/offered").add(1);
         let id = spec.id;
         let class = spec.priority;
+        self.obs.on_arrive(now_us, id);
         self.record(EventRecord::Arrive { t: now_us, id });
         let job = PendingJob {
             spec,
@@ -480,6 +565,7 @@ impl ServiceCore {
         };
         match self.queue.offer(job) {
             Admission::Admitted => {
+                self.obs.on_admit(now_us, id, class.index());
                 self.record(EventRecord::Admit {
                     t: now_us,
                     id,
@@ -487,6 +573,7 @@ impl ServiceCore {
                 });
             }
             Admission::AdmittedDisplacing(victim) => {
+                self.obs.on_admit(now_us, id, class.index());
                 self.record(EventRecord::Admit {
                     t: now_us,
                     id,
@@ -520,7 +607,18 @@ impl ServiceCore {
         let prev_level = self.ladder.level();
         let level = self.ladder.observe(self.queue.len(), up_capacity);
         if level != prev_level {
-            self.record(EventRecord::Degrade { t: now_us, level });
+            // Attribute the step: if an SLO burn-rate alert is firing the
+            // ladder is reacting to burn, otherwise to raw backlog.
+            let cause = if self.obs.alert_firing() {
+                Cause::SloBurn
+            } else {
+                Cause::BacklogPressure
+            };
+            self.record(EventRecord::Degrade {
+                t: now_us,
+                level,
+                cause,
+            });
             chaos_metrics::degrade_level_gauge().set(f64::from(level));
             self.peak_degrade = self.peak_degrade.max(level);
         }
@@ -566,6 +664,7 @@ impl ServiceCore {
                     self.degraded_jobs += 1;
                 }
             }
+            self.obs.on_dispatch(now_us, id, server, job.attempts);
             self.record(EventRecord::Dispatch {
                 t: now_us,
                 id,
@@ -593,6 +692,14 @@ impl ServiceCore {
         metrics::histogram("serve/sojourn_us").record(sojourn);
         self.sojourns.push(sojourn);
         self.sojourns_by_class[job.spec.priority.index()].push(sojourn);
+        let alert = self.obs.on_complete(
+            now_us,
+            job.spec.id,
+            server,
+            job.spec.priority.index(),
+            sojourn,
+            violation,
+        );
         self.record(EventRecord::Complete {
             t: now_us,
             id: job.spec.id,
@@ -600,6 +707,9 @@ impl ServiceCore {
             sojourn_us: sojourn,
             violation,
         });
+        if let Some(tr) = alert {
+            self.record_alert(tr);
+        }
     }
 
     /// Books a timed-out dispatch attempt. The job goes back through
@@ -607,6 +717,7 @@ impl ServiceCore {
     pub fn timeout(&mut self, job: PendingJob, server: usize, started_us: u64, now_us: u64) {
         self.server_busy_us[server] += now_us.saturating_sub(started_us);
         metrics::counter("serve/timeouts").add(1);
+        self.obs.on_timeout(now_us, job.spec.id, server);
         self.record(EventRecord::Timeout {
             t: now_us,
             id: job.spec.id,
@@ -645,6 +756,19 @@ impl ServiceCore {
     /// Finalizes the run into a report; `makespan_us` is the timestamp of
     /// the last event the driver processed.
     pub fn into_report(self, seed: u64, makespan_us: u64) -> (ServingReport, Vec<EventRecord>) {
+        let (report, log, _obs) = self.finish(seed, makespan_us);
+        (report, log)
+    }
+
+    /// Like [`ServiceCore::into_report`] but also returns the finalized
+    /// observability plane (stranded job spans closed), so drivers can
+    /// export traces, live quantiles and the alert stream.
+    pub fn finish(
+        mut self,
+        seed: u64,
+        makespan_us: u64,
+    ) -> (ServingReport, Vec<EventRecord>, ObsPlane) {
+        self.obs.on_finish(makespan_us);
         let makespan_secs = makespan_us as f64 / 1e6;
         let throughput = if makespan_us == 0 {
             0.0
@@ -732,7 +856,7 @@ impl ServiceCore {
             ],
             servers,
         };
-        (report, self.log)
+        (report, self.log, self.obs)
     }
 }
 

@@ -49,6 +49,9 @@ pub struct SimOutcome {
     pub event_log: Vec<EventRecord>,
     /// `(job id, server)` pairs in dispatch order.
     pub assignments: Vec<(u64, usize)>,
+    /// The finalized observability plane: per-job lifecycle traces,
+    /// windowed quantiles and the SLO alert stream.
+    pub obs: vtx_obs::ObsPlane,
 }
 
 /// Heap payload. `Finish` names a `(server, instance)` pair rather than
@@ -257,12 +260,12 @@ pub fn simulate_trace(
                     }
                     if done_ids.contains(&id) {
                         // The other copy already won; this work is wasted.
-                        core.hedge_discard(server, r.started_us, now);
+                        core.hedge_discard(id, server, r.started_us, now);
                     } else if r.timed_out {
                         if left > 0 {
                             // A copy is still running; let it decide the
                             // job's fate, just bill this server's time.
-                            core.hedge_discard(server, r.started_us, now);
+                            core.hedge_discard(id, server, r.started_us, now);
                         } else {
                             core.timeout(r.job, server, r.started_us, now);
                         }
@@ -357,11 +360,12 @@ pub fn simulate_trace(
     }
 
     let assignments = core.assignments().to_vec();
-    let (report, event_log) = core.into_report(seed, now);
+    let (report, event_log, obs) = core.finish(seed, now);
     Ok(SimOutcome {
         report,
         event_log,
         assignments,
+        obs,
     })
 }
 

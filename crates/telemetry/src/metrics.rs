@@ -106,8 +106,20 @@ impl Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// Sum of all recorded samples (wrapping on u64 overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile sample
-    /// (`0.0 < q <= 1.0`); 0 when empty.
+    /// (`0.0 < q <= 1.0`).
+    ///
+    /// # Empty input
+    ///
+    /// An empty histogram returns 0 for every `q` — callers never see a
+    /// sentinel or panic, matching `LatencyStats::from_samples` in the
+    /// serving layer (empty → all-zero stats). Out-of-range `q` values are
+    /// clamped into the valid rank range rather than rejected.
     pub fn quantile(&self, q: f64) -> u64 {
         let counts: Vec<u64> = self
             .buckets
@@ -225,27 +237,59 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
     }
 }
 
-/// A text dump of every registered metric, one `name value` line each —
-/// counters and gauges verbatim, histograms as count/mean/p50/p90/p99.
+/// Maps a registry name (e.g. `serve/sojourn_us`) to a valid Prometheus
+/// metric name: every character outside `[a-zA-Z0-9_:]` becomes `_`, and a
+/// leading digit gets a `_` prefix so the result matches
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format: each metric gets a `# TYPE` line and sanitized name
+/// ([`sanitize_metric_name`]); counters and gauges are single samples,
+/// histograms are exposed as summaries (`{quantile="..."}` samples plus
+/// `_sum` and `_count`). The registry is a `BTreeMap`, so output order is
+/// deterministic.
 pub fn render_all() -> String {
     use std::fmt::Write as _;
     let reg = registry();
     let mut out = String::new();
     for (name, metric) in reg.iter() {
+        let pname = sanitize_metric_name(name);
         match metric {
             Metric::Counter(c) => {
-                let _ = writeln!(out, "{name} {}", c.value());
+                let _ = writeln!(out, "# TYPE {pname} counter");
+                let _ = writeln!(out, "{pname} {}", c.value());
             }
             Metric::Gauge(g) => {
-                let _ = writeln!(out, "{name} {}", g.value());
+                let _ = writeln!(out, "# TYPE {pname} gauge");
+                let _ = writeln!(out, "{pname} {}", g.value());
             }
             Metric::Histogram(h) => {
                 let s = h.summary();
-                let _ = writeln!(
-                    out,
-                    "{name} count={} mean={:.1} p50={} p90={} p99={}",
-                    s.count, s.mean, s.p50, s.p90, s.p99
-                );
+                let _ = writeln!(out, "# TYPE {pname} summary");
+                for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                    let _ = writeln!(out, "{pname}{{quantile=\"{q}\"}} {v}");
+                }
+                let _ = writeln!(out, "{pname}_sum {}", h.sum());
+                let _ = writeln!(out, "{pname}_count {}", s.count);
             }
         }
     }
@@ -435,7 +479,85 @@ mod tests {
         counter("test/metrics/render").add(1);
         histogram("test/metrics/render_hist").record(10);
         let text = render_all();
-        assert!(text.contains("test/metrics/render "));
-        assert!(text.contains("test/metrics/render_hist count="));
+        assert!(text.contains("# TYPE test_metrics_render counter"));
+        assert!(text.contains("test_metrics_render "));
+        assert!(text.contains("# TYPE test_metrics_render_hist summary"));
+        assert!(text.contains("test_metrics_render_hist{quantile=\"0.99\"}"));
+        assert!(text.contains("test_metrics_render_hist_count "));
+        assert!(text.contains("test_metrics_render_hist_sum "));
+    }
+
+    #[test]
+    fn sanitize_produces_valid_prometheus_names() {
+        assert_eq!(sanitize_metric_name("serve/sojourn_us"), "serve_sojourn_us");
+        assert_eq!(sanitize_metric_name("a-b.c d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name:sub"), "ok_name:sub");
+        assert_eq!(sanitize_metric_name(""), "_");
+        for name in ["serve/x", "違法", "1/2", "__ok__"] {
+            let s = sanitize_metric_name(name);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(
+                first.is_ascii_alphabetic() || first == '_' || first == ':',
+                "{s}"
+            );
+            assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "{s}"
+            );
+        }
+    }
+
+    /// Exposition-format conformance: every non-comment line must be
+    /// `name[{labels}] value` with a valid metric name and a parseable
+    /// float value, and every `# TYPE` line must name a known type.
+    #[test]
+    fn render_all_conforms_to_exposition_format() {
+        counter("test/metrics/conform_c").add(7);
+        gauge("test/metrics/conform_g").set(1.25);
+        histogram("test/metrics/conform_h").record(1000);
+        let text = render_all();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "summary" | "histogram"),
+                    "{line}"
+                );
+                assert!(!name.is_empty());
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unexpected comment: {line}");
+            let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+            let name = &line[..name_end];
+            let first = name.chars().next().unwrap();
+            assert!(
+                first.is_ascii_alphabetic() || first == '_' || first == ':',
+                "{line}"
+            );
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad name in: {line}"
+            );
+            if let Some(open) = line.find('{') {
+                let close = line.find('}').expect("labels closed");
+                assert!(close > open, "{line}");
+                let labels = &line[open + 1..close];
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label k=v");
+                    assert!(
+                        !k.is_empty() && v.starts_with('"') && v.ends_with('"'),
+                        "{line}"
+                    );
+                }
+            }
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+        }
     }
 }

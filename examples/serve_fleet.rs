@@ -13,13 +13,23 @@
 //! armed. Still a pure function of the seed — the CI `chaos-determinism`
 //! job byte-compares two faulted runs.
 //!
+//! Observability exports: `--metrics-out FILE` writes the run's Prometheus
+//! exposition (per-class completion counters, sojourn quantile summaries,
+//! alert gauges); `--job-trace FILE` writes the per-job lifecycle trace —
+//! Chrome trace-event JSON when the path ends in `.json` (one track per
+//! job: queued span, attempt/hedge spans, shed/requeue instants), plain
+//! text otherwise. With `--policy all`, the policy name is inserted before
+//! the extension so runs don't clobber each other.
+//!
 //! ```text
 //! cargo run --release --example serve_fleet -- [--seed N] [--smoke]
 //!     [--policy random|rr|smart|port|all] [--real] [--faults]
 //!     [--trace-out FILE] [--dump-trace FILE]
+//!     [--metrics-out FILE] [--job-trace FILE]
 //! ```
 
 use vtx_core::trace_export;
+use vtx_obs::ObsPlane;
 use vtx_serve::chaos::{ChaosConfig, DegradeConfig, FaultPlan};
 use vtx_serve::exec::{run_real, ExecConfig};
 use vtx_serve::fleet::Fleet;
@@ -27,7 +37,49 @@ use vtx_serve::policy::policy_by_name;
 use vtx_serve::service::{render_event_log, ServeConfig};
 use vtx_serve::sim::simulate_trace;
 use vtx_serve::workload::{render_trace, WorkloadSpec};
+use vtx_serve::CLASS_NAMES;
+use vtx_telemetry::chrome::ChromeTrace;
 use vtx_telemetry::Collector;
+
+/// Insert the policy name before the extension when several policies run,
+/// so `--policy all` doesn't overwrite one file four times.
+fn per_policy_path(base: &str, policy: &str, multi: bool) -> String {
+    if !multi {
+        return base.to_owned();
+    }
+    match base.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{policy}.{ext}"),
+        _ => format!("{base}.{policy}"),
+    }
+}
+
+/// Write the observability exports requested on the command line.
+fn write_obs_outputs(
+    obs: &ObsPlane,
+    metrics_out: Option<&str>,
+    job_trace: Option<&str>,
+    policy: &str,
+    multi: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(base) = metrics_out {
+        let path = per_policy_path(base, policy, multi);
+        std::fs::write(&path, obs.render_prometheus(&CLASS_NAMES))?;
+        println!("wrote Prometheus metrics to {path}");
+    }
+    if let Some(base) = job_trace {
+        let path = per_policy_path(base, policy, multi);
+        let body = if path.ends_with(".json") {
+            let mut trace = ChromeTrace::new();
+            obs.tracker().add_chrome_tracks(&mut trace, &CLASS_NAMES);
+            trace.to_json()
+        } else {
+            obs.tracker().render_text(&CLASS_NAMES)
+        };
+        std::fs::write(&path, body)?;
+        println!("wrote job lifecycle trace to {path}");
+    }
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trace_out = trace_export::init_from_env();
@@ -37,6 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut faults = false;
     let mut policy_arg = "all".to_owned();
     let mut dump_trace: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut job_trace: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +107,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--dump-trace" => {
                 dump_trace = Some(args.next().ok_or("--dump-trace needs a file path")?);
             }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().ok_or("--metrics-out needs a file path")?);
+            }
+            "--job-trace" => {
+                job_trace = Some(args.next().ok_or("--job-trace needs a file path")?);
+            }
             "--trace-out" => {
                 let path = args.next().ok_or("--trace-out needs a file path")?;
                 Collector::enable();
@@ -66,6 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "all" => vec!["random", "round_robin", "smart", "port"],
         name => vec![name],
     };
+    let multi = policies.len() > 1;
 
     if real {
         // The real executor replays a small trace with actual transcodes;
@@ -97,6 +158,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
             let out = run_real(&workload, Fleet::table_iv(), policy, &cfg)?;
             println!("\n{}", out.report.render());
+            write_obs_outputs(
+                &out.obs,
+                metrics_out.as_deref(),
+                job_trace.as_deref(),
+                name,
+                multi,
+            )?;
         }
     } else {
         let workload = if smoke {
@@ -154,6 +222,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("event log ({} events):", out.event_log.len());
                 print!("{}", render_event_log(&out.event_log));
             }
+            if !out.obs.alerts().is_empty() {
+                println!("alert transitions ({}):", out.obs.alerts().len());
+                print!("{}", out.obs.render_alerts(&CLASS_NAMES));
+            }
+            write_obs_outputs(
+                &out.obs,
+                metrics_out.as_deref(),
+                job_trace.as_deref(),
+                name,
+                multi,
+            )?;
         }
     }
 

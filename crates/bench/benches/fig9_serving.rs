@@ -17,11 +17,20 @@ use vtx_serve::workload::WorkloadSpec;
 
 /// Flatten one run (exact report + observability plane) into a trajectory
 /// row — every field integral so the artifact byte-compares across runs.
-fn trajectory_row(scenario: &str, r: &ServingReport, alerts: u64, wall_ms: u64) -> TrajectoryRow {
+fn trajectory_row(
+    scenario: &str,
+    r: &ServingReport,
+    servers: u64,
+    cells: u64,
+    alerts: u64,
+    wall_ms: u64,
+) -> TrajectoryRow {
     TrajectoryRow {
         scenario: scenario.to_owned(),
         policy: r.policy.clone(),
         seed: r.seed,
+        servers,
+        cells,
         offered: r.offered,
         completed: r.completed,
         slo_violations: r.slo_violations,
@@ -185,10 +194,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // this file and byte-compares it against the committed BENCH_serving.json.
     let mut traj = BenchTrajectory::new("fig9_serving");
     for (i, r) in reports.iter().enumerate() {
-        traj.push(trajectory_row("baseline", r, alert_counts[i], walls[i]));
+        traj.push(trajectory_row(
+            "baseline",
+            r,
+            5,
+            0,
+            alert_counts[i],
+            walls[i],
+        ));
     }
     for (i, r) in faulted.iter().enumerate() {
-        traj.push(trajectory_row("faulted", r, f_alert_counts[i], f_walls[i]));
+        traj.push(trajectory_row(
+            "faulted",
+            r,
+            8,
+            0,
+            f_alert_counts[i],
+            f_walls[i],
+        ));
     }
     let json = traj.to_json();
     BenchTrajectory::validate_str(&json).expect("trajectory validates against its own schema");

@@ -19,13 +19,16 @@
 use crate::json::{self, JsonValue};
 
 /// Schema version written to and required from `BENCH_serving.json`.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the fleet-shape columns `servers` and `cells`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Fields every row must carry, in serialization order.
-const ROW_FIELDS: [&str; 15] = [
+const ROW_FIELDS: [&str; 17] = [
     "scenario",
     "policy",
     "seed",
+    "servers",
+    "cells",
     "offered",
     "completed",
     "slo_violations",
@@ -49,6 +52,10 @@ pub struct TrajectoryRow {
     pub policy: String,
     /// RNG seed of the run.
     pub seed: u64,
+    /// Fleet size the scenario ran against.
+    pub servers: u64,
+    /// Dispatch cells (0 = single-level exact dispatch, no cells).
+    pub cells: u64,
     /// Jobs offered.
     pub offered: u64,
     /// Jobs completed.
@@ -143,6 +150,8 @@ impl BenchTrajectory {
             s.push('"');
             field(&mut out, "policy", &s, false);
             field(&mut out, "seed", &row.seed.to_string(), false);
+            field(&mut out, "servers", &row.servers.to_string(), false);
+            field(&mut out, "cells", &row.cells.to_string(), false);
             field(&mut out, "offered", &row.offered.to_string(), false);
             field(&mut out, "completed", &row.completed.to_string(), false);
             field(
@@ -193,7 +202,7 @@ impl BenchTrajectory {
 
     /// Parses and schema-checks a serialized trajectory document.
     ///
-    /// Checks: top-level `schema == 1`, `bench` is a string, `rows` is a
+    /// Checks: top-level `schema == 2`, `bench` is a string, `rows` is a
     /// non-empty array, every row carries every field in [`ROW_FIELDS`]
     /// with the right type, and basic metric sanity (`completed + shed ≤
     /// offered` would be wrong — hedges never over-complete, so
@@ -243,6 +252,8 @@ impl BenchTrajectory {
                 scenario: str_field("scenario")?,
                 policy: str_field("policy")?,
                 seed: u64_field("seed")?,
+                servers: u64_field("servers")?,
+                cells: u64_field("cells")?,
                 offered: u64_field("offered")?,
                 completed: u64_field("completed")?,
                 slo_violations: u64_field("slo_violations")?,
@@ -289,6 +300,8 @@ mod tests {
             scenario: scenario.to_string(),
             policy: policy.to_string(),
             seed: 42,
+            servers: 5,
+            cells: 0,
             offered: 240,
             completed: 238,
             slo_violations: 3,

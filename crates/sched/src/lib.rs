@@ -22,6 +22,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod affinity;
+pub mod auction;
 pub mod batch;
 mod error;
 pub mod hungarian;

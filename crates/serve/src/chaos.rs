@@ -40,6 +40,26 @@ impl Default for ChaosConfig {
     }
 }
 
+/// The instant a hedge for a job becomes due, or `None` when hedging is
+/// disabled (`hedge_after >= 1.0`, or not a meaningful fraction).
+///
+/// The fraction is quantized to milli-units and applied in integer
+/// arithmetic (`u128` intermediate), so the result is exact for any budget
+/// up to `u64::MAX`. The old `(budget as f64 * hedge_after) as u64` path
+/// lost precision above 2^53 µs and rounded `u64::MAX`-sized budgets *up*
+/// through the f64 representation of the budget itself.
+pub fn hedge_due_us(arrival_us: u64, deadline_us: u64, hedge_after: f64) -> Option<u64> {
+    let milli = (hedge_after * 1000.0).round();
+    // NaN fails both comparisons and disables hedging.
+    if !(0.0..1000.0).contains(&milli) {
+        return None;
+    }
+    let milli = milli as u128;
+    let budget = deadline_us.saturating_sub(arrival_us) as u128;
+    let slice = (budget * milli / 1000) as u64;
+    Some(arrival_us.saturating_add(slice))
+}
+
 impl ChaosConfig {
     /// Whether any chaos machinery is active.
     pub fn enabled(&self) -> bool {
@@ -114,6 +134,28 @@ mod tests {
             ..ChaosConfig::default()
         };
         assert!(c.enabled());
+    }
+
+    #[test]
+    fn hedge_due_is_exact_at_the_extremes() {
+        // Full-range budget: exact floor division, no f64 rounding. The old
+        // float path returned 2^63 here (one above the true floor).
+        assert_eq!(hedge_due_us(0, u64::MAX, 0.5), Some(u64::MAX / 2));
+        // hedge_after = 0.0 arms at arrival (caller's `due > now` gate
+        // keeps it from firing retroactively).
+        assert_eq!(hedge_due_us(100, 1_000, 0.0), Some(100));
+        // >= 1.0 disables, as do NaN and negatives.
+        assert_eq!(hedge_due_us(100, 1_000, 1.0), None);
+        assert_eq!(hedge_due_us(100, 1_000, 1.5), None);
+        assert_eq!(hedge_due_us(100, 1_000, f64::NAN), None);
+        assert_eq!(hedge_due_us(100, 1_000, -0.5), None);
+        // Saturating add near the top of the clock.
+        assert_eq!(
+            hedge_due_us(u64::MAX - 10, u64::MAX, 0.9),
+            Some(u64::MAX - 1)
+        );
+        // Ordinary case: 30% of a 1 s budget.
+        assert_eq!(hedge_due_us(2_000_000, 3_000_000, 0.3), Some(2_300_000));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! transcodes with first-completion-wins accounting.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -146,38 +147,43 @@ pub fn run_real_trace(
     let start = Instant::now();
 
     // Per-server worker threads: each owns its uarch and pulls (job, start)
-    // work items; completions funnel into one channel. Under a fault plan a
-    // worker enforces its own failures against the wall clock: past its
-    // crash time it dies silently (no Done), and a fail-slow window
-    // stretches its observed service time via [`vtx_chaos::FaultPlan`].
+    // work items; completions funnel into one channel. Fail-stop crashes
+    // are coordinator-driven: when a planned crash fires, the coordinator
+    // raises the worker's crash flag and closes its work channel, so the
+    // worker dies deterministically (a blocked-idle worker wakes on the
+    // closed channel, a mid-transcode worker sees the flag and loses its
+    // finished work) no matter how the wall clock raced the workload.
     let (done_tx, done_rx) = mpsc::channel::<Done>();
-    let mut work_txs = Vec::with_capacity(n_servers);
+    let crash_flags: Vec<Arc<AtomicBool>> = (0..n_servers)
+        .map(|_| Arc::new(AtomicBool::new(false)))
+        .collect();
+    let mut work_txs: Vec<Option<mpsc::Sender<(PendingJob, u64)>>> = Vec::with_capacity(n_servers);
     let mut workers = Vec::with_capacity(n_servers);
     for (idx, server) in core.fleet().servers().iter().enumerate() {
         let (tx, rx) = mpsc::channel::<(PendingJob, u64)>();
-        work_txs.push(tx);
+        work_txs.push(Some(tx));
         let done = done_tx.clone();
         let uarch = server.uarch.clone();
         let sample_shift = cfg.sample_shift;
         let pool = transcoders.clone();
         let plan_w = plan.clone();
+        let dead = crash_flags[idx].clone();
         workers.push(thread::spawn(move || {
             while let Ok((job, started_us)) = rx.recv() {
-                let now = start.elapsed().as_micros() as u64;
-                if plan_w.crash_us(idx).is_some_and(|c| c <= now) {
+                if dead.load(Ordering::Acquire) {
                     // Fail-stop: die without reporting; the detector's down
                     // verdict recovers the job.
                     break;
                 }
                 let opts = TranscodeOptions::on(uarch.clone()).with_sample_shift(sample_shift);
-                let work_start = now;
+                let work_start = start.elapsed().as_micros() as u64;
                 let result = pool
                     .get(&job.spec.task.video)
                     .expect("transcoder pre-built for every trace video")
                     .transcode(&job.spec.task.encoder_config(), &opts)
                     .map(|_| ());
                 let now = start.elapsed().as_micros() as u64;
-                if plan_w.crash_us(idx).is_some_and(|c| c <= now) {
+                if dead.load(Ordering::Acquire) {
                     // Died mid-transcode: the finished work is lost.
                     break;
                 }
@@ -242,12 +248,24 @@ pub fn run_real_trace(
     let mut done_ids: BTreeSet<u64> = BTreeSet::new();
     let mut lost: BTreeSet<(u64, u32)> = BTreeSet::new(); // (id, attempt)
 
+    // A run may not end before every planned crash has fired AND matured
+    // to a down verdict: exiting early is exactly the wall-clock race that
+    // made fast runs miss their own fault script.
+    let crash_victims: Vec<usize> = (0..n_servers)
+        .filter(|&s| plan.server(s).crash_us.is_some())
+        .collect();
+
     loop {
         let t = now_us();
-        // Book plan faults as they fire.
+        // Book plan faults as they fire; a crash also kills its worker via
+        // the flag + channel-close handshake.
         while next_fault < fault_due.len() && fault_due[next_fault].0 <= t {
             let (_, s, kind) = fault_due[next_fault];
             core.record_fault(s, kind, t);
+            if kind == FaultKind::Crash {
+                crash_flags[s].store(true, Ordering::Release);
+                work_txs[s] = None;
+            }
             next_fault += 1;
         }
         // Heartbeat sweep: push detector verdicts into the core, and
@@ -292,21 +310,23 @@ pub fn run_real_trace(
             in_flight += 1;
             let id = job.spec.id;
             *copies.entry(id).or_insert(0) += 1;
-            if hedge_after < 1.0 && job.spec.priority == Priority::Interactive && job.attempts == 1
-            {
-                let budget = job.spec.deadline_us.saturating_sub(job.spec.arrival_us);
-                let due = job
-                    .spec
-                    .arrival_us
-                    .saturating_add((budget as f64 * hedge_after) as u64);
-                if due > t && due < job.spec.deadline_us {
-                    hedges_due.push((due, id));
+            if job.spec.priority == Priority::Interactive && job.attempts == 1 {
+                if let Some(due) = crate::chaos::hedge_due_us(
+                    job.spec.arrival_us,
+                    job.spec.deadline_us,
+                    hedge_after,
+                ) {
+                    if due > t && due < job.spec.deadline_us {
+                        hedges_due.push((due, id));
+                    }
                 }
             }
             running[server] = Some((job.clone(), t, false));
-            // A dead worker's channel may be closed; the job copy in
+            // A dead worker's channel is closed; the job copy in
             // `running` is recovered by the down verdict above.
-            let _ = work_txs[server].send((job, t));
+            if let Some(tx) = &work_txs[server] {
+                let _ = tx.send((job, t));
+            }
         }
         // Launch due hedges: a duplicate of the original copy on the best
         // detected-up idle server; first completion wins.
@@ -341,12 +361,18 @@ pub fn run_real_trace(
                 busy[server] = true;
                 in_flight += 1;
                 running[server] = Some((job.clone(), t, true));
-                let _ = work_txs[server].send((job, t));
+                if let Some(tx) = &work_txs[server] {
+                    let _ = tx.send((job, t));
+                }
             }
         }
         makespan = makespan.max(now_us());
+        let crashes_matured = next_fault == fault_due.len()
+            && crash_victims
+                .iter()
+                .all(|&s| core.health()[s] == Health::Down);
         if next_arrival == arrivals.len() && in_flight == 0 {
-            if core.queued() == 0 {
+            if core.queued() == 0 && crashes_matured {
                 break;
             }
             // Whole fleet down with work still queued: nothing can ever be
@@ -414,7 +440,11 @@ pub fn run_real_trace(
                 // Every worker is gone (all crashed). Keep sweeping so the
                 // detector's down verdicts recover what they held, but
                 // don't spin while waiting for them to mature.
-                if in_flight == 0 && core.queued() == 0 && next_arrival == arrivals.len() {
+                if in_flight == 0
+                    && core.queued() == 0
+                    && next_arrival == arrivals.len()
+                    && crashes_matured
+                {
                     break;
                 }
                 thread::sleep(Duration::from_millis(1));

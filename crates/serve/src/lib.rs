@@ -26,7 +26,12 @@
 //! * [`service`] — the shared [`service::ServiceCore`] (admission, dispatch,
 //!   accounting, event log) used by **both** drivers.
 //! * [`sim`] — the deterministic discrete-event fleet engine: same seed in,
-//!   byte-identical event log, assignment vector and report out.
+//!   byte-identical event log, assignment vector and report out. Fleets at
+//!   XL scale (≥ [`cells::XL_FLEET_THRESHOLD`] servers) run on an indexed
+//!   fast path: a [`calendar`] queue instead of a heap, an incremental
+//!   [`cells::IdleIndex`] instead of per-event idle scans, and two-level
+//!   dispatch (consistent-hash + power-of-two-choices across
+//!   [`cells::CellPlan`] cells, ε-scaling auction within a cell).
 //! * [`exec`] — the real executor: wall-clock time, per-server worker
 //!   threads running actual profiled [`vtx_core::Transcoder`] jobs through
 //!   the same service core.
@@ -69,6 +74,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calendar;
+pub mod cells;
 pub mod chaos;
 pub mod cost;
 pub mod error;

@@ -3,19 +3,40 @@
 //! The paper's schedulers assign a *static batch* one-to-one; an online
 //! dispatcher repeatedly faces a smaller problem — the currently queued
 //! candidates versus the currently idle servers — every time an arrival or
-//! completion changes the state. All three policies implement one trait so
-//! the discrete-event engine and the real threaded executor drive them
-//! through the same code path.
+//! completion changes the state. All policies implement one trait so the
+//! discrete-event engine and the real threaded executor drive them through
+//! the same code path.
+//!
+//! Two dispatch surfaces exist on the trait:
+//!
+//! * [`DispatchPolicy::assign`] — the historical small-fleet path over a
+//!   materialized idle slice (exact Hungarian solve for the model-driven
+//!   policies). The committed fig9 artifacts pin its output byte-for-byte.
+//! * [`DispatchPolicy::assign_indexed`] — the XL path over an incremental
+//!   [`IdleIndex`]: the model-driven policies route each candidate to one
+//!   of two consistent-hashed cells (power-of-two-choices on idle
+//!   capacity) and run a warm-started ε-scaling auction *within* the
+//!   chosen cell; the baselines sample the Fenwick tree directly. Nothing
+//!   here is O(fleet).
+//!
+//! The model-driven policies also memoize predictions: the cost model is a
+//! pure function of (task parameters, server class), so each (task, class)
+//! pair is priced once per detector epoch and invalidated wholesale on any
+//! Suspect/Down/Degrade transition (the epoch bump in
+//! [`DispatchCtx::health_epoch`]).
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use vtx_chaos::Health;
+use vtx_codec::Preset;
 
+use crate::cells::IdleIndex;
 use crate::cost::CostModel;
 use crate::fleet::Fleet;
 use crate::queue::PendingJob;
 use crate::rng::SplitMix64;
-use vtx_sched::hungarian;
+use vtx_sched::{auction, hungarian};
 
 /// Cost multiplier the model-driven policies apply to servers the failure
 /// detector currently suspects: high enough that a suspected server is only
@@ -38,6 +59,10 @@ pub struct DispatchCtx<'a> {
     /// keep throwing work at suspects, which is exactly the behavior the
     /// faulted study measures them on.
     pub health: &'a [Health],
+    /// Monotone counter bumped by the service on every Suspect/Down/Degrade
+    /// transition. Policies may cache anything derived from `health` or the
+    /// degrade ladder for as long as this value holds still.
+    pub health_epoch: u64,
 }
 
 impl DispatchCtx<'_> {
@@ -66,6 +91,25 @@ pub trait DispatchPolicy: fmt::Debug + Send {
         idle: &[usize],
         ctx: &DispatchCtx<'_>,
     ) -> Vec<(usize, usize)>;
+
+    /// XL variant of [`Self::assign`] over the incremental idle index.
+    /// Returns `(job_pos, server_index)` pairs — **server indices, not
+    /// idle positions** — each job and server at most once, servers drawn
+    /// from the index's idle set. The default materializes the idle set
+    /// and delegates; the built-in policies override it with sublinear
+    /// implementations.
+    fn assign_indexed(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &IdleIndex,
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        let idle_vec = idle.to_vec();
+        self.assign(jobs, &idle_vec, ctx)
+            .into_iter()
+            .map(|(job_pos, idle_pos)| (job_pos, idle_vec[idle_pos]))
+            .collect()
+    }
 }
 
 /// Uniform-random placement (the paper's random scheduler, online).
@@ -102,6 +146,33 @@ impl DispatchPolicy for RandomPolicy {
             let pick = job_pos + self.rng.next_range((slots.len() - job_pos) as u64) as usize;
             slots.swap(job_pos, pick);
             out.push((job_pos, slots[job_pos]));
+        }
+        out
+    }
+
+    fn assign_indexed(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &IdleIndex,
+        _ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        let n = jobs.len().min(idle.total());
+        // Sample n distinct idle ranks without materializing the idle set:
+        // draw a rank among the not-yet-picked, then shift it past the
+        // already-picked ranks (ascending) to index the full idle order.
+        let mut picked_ranks: Vec<usize> = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        for job_pos in 0..n {
+            let mut r = self.rng.next_range((idle.total() - job_pos) as u64) as usize;
+            for &p in picked_ranks.iter() {
+                if p <= r {
+                    r += 1;
+                }
+            }
+            let pos = picked_ranks.partition_point(|&p| p < r);
+            picked_ranks.insert(pos, r);
+            let server = idle.nth_idle(r).expect("rank < idle.total()");
+            out.push((job_pos, server));
         }
         out
     }
@@ -153,30 +224,157 @@ impl DispatchPolicy for RoundRobinPolicy {
         }
         out
     }
-}
 
-/// The characterization-driven policy: minimum predicted total service time
-/// over the (candidates × idle servers) matrix via the Hungarian solver —
-/// the smart scheduler of Figure 9 run continuously over whatever is
-/// currently queued and idle. When queued jobs outnumber idle servers the
-/// rectangular solve picks which jobs run *now* (the rest wait), still
-/// minimizing predicted cost.
-#[derive(Debug, Default)]
-pub struct SmartPolicy;
-
-impl SmartPolicy {
-    /// Creates the policy.
-    pub fn new() -> Self {
-        SmartPolicy
+    fn assign_indexed(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &IdleIndex,
+        _ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        let fleet_len = idle.plan().n_servers();
+        let n = jobs.len().min(idle.total());
+        let mut picked: Vec<usize> = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        for job_pos in 0..n {
+            // First idle server at or after the cursor (cyclic) that is not
+            // already taken this round; at most `picked + 2` probes.
+            let mut start = self.cursor % fleet_len;
+            let mut server = None;
+            for _ in 0..=picked.len() + 1 {
+                let cand = idle
+                    .next_idle_at_or_after(start)
+                    .or_else(|| idle.next_idle_at_or_after(0));
+                match cand {
+                    Some(s) if picked.binary_search(&s).is_err() => {
+                        server = Some(s);
+                        break;
+                    }
+                    Some(s) => start = (s + 1) % fleet_len,
+                    None => break,
+                }
+            }
+            let Some(s) = server else { break };
+            let pos = picked.partition_point(|&p| p < s);
+            picked.insert(pos, s);
+            self.cursor = (s + 1) % fleet_len;
+            out.push((job_pos, s));
+        }
+        out
     }
 }
 
-impl DispatchPolicy for SmartPolicy {
-    fn name(&self) -> &'static str {
-        "smart"
+/// Which prediction face a model-driven policy ranks by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredictionKind {
+    /// [`CostModel::predicted_us`] — the affinity-model face (`smart`).
+    Affinity,
+    /// [`CostModel::port_predicted_us`] — the port-refined face (`port`).
+    Port,
+}
+
+/// Integer suspect penalty applied to milli-costs on the auction path —
+/// the same ×64 as [`SUSPECT_PENALTY`], kept integral so bids stay exact.
+const SUSPECT_PENALTY_INT: u64 = SUSPECT_PENALTY as u64;
+
+/// Shared machinery of the model-driven policies (`smart` / `port`): the
+/// prediction memo, the per-server auction prices, and both dispatch
+/// surfaces.
+/// Prediction memo keys: (crf, refs, preset rank, server class) within a
+/// video's entry.
+type KnobKey = (u8, u8, u8, u16);
+
+#[derive(Debug)]
+struct ModelCore {
+    kind: PredictionKind,
+    /// Prediction memo: video → (crf, refs, preset rank, server class) →
+    /// base (un-penalized) predicted µs. The server class collapses servers
+    /// with identical (uarch, speed) — the only inputs the model reads.
+    cache: BTreeMap<String, BTreeMap<KnobKey, u64>>,
+    /// Detector epoch the memo was filled under; any mismatch clears it.
+    cache_epoch: u64,
+    /// Whether the memo is consulted at all (equivalence tests disable it).
+    cache_enabled: bool,
+    /// Server index → class id, rebuilt when the fleet size changes.
+    class_of: Vec<u16>,
+    /// Warm-start auction prices per server index (XL path only).
+    prices: BTreeMap<usize, i64>,
+}
+
+impl ModelCore {
+    fn new(kind: PredictionKind) -> Self {
+        ModelCore {
+            kind,
+            cache: BTreeMap::new(),
+            cache_epoch: 0,
+            cache_enabled: true,
+            class_of: Vec::new(),
+            prices: BTreeMap::new(),
+        }
     }
 
-    fn assign(
+    /// Raw (un-cached, un-penalized) prediction for this kind.
+    fn predict_raw(&self, ctx: &DispatchCtx<'_>, job: &PendingJob, s: usize) -> u64 {
+        let server = ctx.fleet.server(s);
+        match self.kind {
+            PredictionKind::Affinity => ctx.model.predicted_us(&job.spec, server),
+            PredictionKind::Port => ctx.model.port_predicted_us(&job.spec, server),
+        }
+    }
+
+    fn ensure_classes(&mut self, fleet: &Fleet) {
+        if self.class_of.len() == fleet.len() {
+            return;
+        }
+        let mut ids: BTreeMap<(&str, u64), u16> = BTreeMap::new();
+        self.class_of = fleet
+            .servers()
+            .iter()
+            .map(|sv| {
+                let key = (sv.uarch.name.as_str(), sv.speed.to_bits());
+                let next = ids.len() as u16;
+                *ids.entry(key).or_insert(next)
+            })
+            .collect();
+        self.cache.clear();
+    }
+
+    /// Base (un-penalized) predicted µs, through the memo when enabled.
+    fn predicted_base(&mut self, ctx: &DispatchCtx<'_>, job: &PendingJob, s: usize) -> u64 {
+        if !self.cache_enabled {
+            return self.predict_raw(ctx, job, s);
+        }
+        if self.cache_epoch != ctx.health_epoch {
+            self.cache.clear();
+            self.cache_epoch = ctx.health_epoch;
+        }
+        self.ensure_classes(ctx.fleet);
+        let t = &job.spec.task;
+        let rank = Preset::ALL.iter().position(|&p| p == t.preset).unwrap_or(5) as u8;
+        let key = (t.crf, t.refs, rank, self.class_of[s]);
+        if let Some(&hit) = self.cache.get(t.video.as_str()).and_then(|m| m.get(&key)) {
+            return hit;
+        }
+        let val = self.predict_raw(ctx, job, s);
+        self.cache
+            .entry(t.video.clone())
+            .or_default()
+            .insert(key, val);
+        val
+    }
+
+    /// Suspect-penalized integer milli-µs cost for the auction path.
+    fn milli_cost(&mut self, ctx: &DispatchCtx<'_>, job: &PendingJob, s: usize) -> u64 {
+        let base = self.predicted_base(ctx, job, s).saturating_mul(1000);
+        match ctx.health.get(s) {
+            Some(Health::Suspected) => base.saturating_mul(SUSPECT_PENALTY_INT),
+            _ => base,
+        }
+    }
+
+    /// The historical exact path: Hungarian over the full (jobs × idle)
+    /// f64 matrix. Costs are byte-identical to the pre-memo implementation
+    /// (the memo returns the very same `u64` the model would).
+    fn assign_exact(
         &mut self,
         jobs: &[&PendingJob],
         idle: &[usize],
@@ -189,12 +387,7 @@ impl DispatchPolicy for SmartPolicy {
             .iter()
             .map(|j| {
                 idle.iter()
-                    .map(|&s| {
-                        ctx.penalized(
-                            ctx.model.predicted_us(&j.spec, ctx.fleet.server(s)) as f64,
-                            s,
-                        )
-                    })
+                    .map(|&s| ctx.penalized(self.predicted_base(ctx, j, s) as f64, s))
                     .collect()
             })
             .collect();
@@ -215,6 +408,135 @@ impl DispatchPolicy for SmartPolicy {
                 .collect(),
         }
     }
+
+    /// The XL two-level path: consistent-hash + power-of-two-choices cell
+    /// routing, then a warm-started ε-scaling auction within each cell.
+    /// Returns `(job_pos, server_index)` pairs.
+    fn assign_cells(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &IdleIndex,
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        if jobs.is_empty() || idle.total() == 0 {
+            return Vec::new();
+        }
+        // Level 1: route each candidate to the roomier of its two hashed
+        // cells, debiting capacity as jobs land so a burst spreads out.
+        let mut routed: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut taken: BTreeMap<usize, usize> = BTreeMap::new();
+        for (job_pos, j) in jobs.iter().enumerate() {
+            let (a, b) = idle.plan().candidates(j.spec.id);
+            let room_a = idle
+                .idle_in_cell(a)
+                .saturating_sub(*taken.get(&a).unwrap_or(&0));
+            let room_b = idle
+                .idle_in_cell(b)
+                .saturating_sub(*taken.get(&b).unwrap_or(&0));
+            let cell = if room_a == 0 && room_b == 0 {
+                continue; // both candidate cells saturated — job waits
+            } else if room_b > room_a {
+                b
+            } else {
+                a
+            };
+            *taken.entry(cell).or_insert(0) += 1;
+            routed.entry(cell).or_default().push(job_pos);
+        }
+        // Level 2: auction within each cell, prices warm across rounds.
+        let mut out = Vec::new();
+        for (cell, job_ps) in routed {
+            let servers = idle.cell_idle(cell);
+            if servers.is_empty() {
+                continue;
+            }
+            let cost: Vec<Vec<u64>> = job_ps
+                .iter()
+                .map(|&jp| {
+                    servers
+                        .iter()
+                        .map(|&s| self.milli_cost(ctx, jobs[jp], s))
+                        .collect()
+                })
+                .collect();
+            let mut prices: Vec<i64> = servers
+                .iter()
+                .map(|&s| self.prices.get(&s).copied().unwrap_or(0))
+                .collect();
+            let Ok(assignment) = auction::solve_padded_warm(&cost, &mut prices) else {
+                continue; // unreachable: matrix is rectangular by construction
+            };
+            for (&s, &p) in servers.iter().zip(&prices) {
+                self.prices.insert(s, p);
+            }
+            for (row, slot) in assignment.iter().enumerate() {
+                if let Some(col) = slot {
+                    out.push((job_ps[row], servers[*col]));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The characterization-driven policy: minimum predicted total service time
+/// over the (candidates × idle servers) matrix — the smart scheduler of
+/// Figure 9 run continuously over whatever is currently queued and idle.
+/// Small fleets get the exact Hungarian solve; XL fleets get two-level
+/// cell-auction dispatch. When queued jobs outnumber idle servers the
+/// rectangular solve picks which jobs run *now* (the rest wait), still
+/// minimizing predicted cost.
+#[derive(Debug)]
+pub struct SmartPolicy {
+    core: ModelCore,
+}
+
+impl Default for SmartPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SmartPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        SmartPolicy {
+            core: ModelCore::new(PredictionKind::Affinity),
+        }
+    }
+
+    /// Creates the policy with the prediction memo disabled — every cost is
+    /// recomputed from the model. Exists so tests can pin that the memo
+    /// never changes an assignment.
+    pub fn uncached() -> Self {
+        let mut core = ModelCore::new(PredictionKind::Affinity);
+        core.cache_enabled = false;
+        SmartPolicy { core }
+    }
+}
+
+impl DispatchPolicy for SmartPolicy {
+    fn name(&self) -> &'static str {
+        "smart"
+    }
+
+    fn assign(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &[usize],
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        self.core.assign_exact(jobs, idle, ctx)
+    }
+
+    fn assign_indexed(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &IdleIndex,
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        self.core.assign_cells(jobs, idle, ctx)
+    }
 }
 
 /// The port-informed policy: like [`SmartPolicy`] but ranking by the
@@ -223,13 +545,30 @@ impl DispatchPolicy for SmartPolicy {
 /// while `smart` minimizes a port-blind approximation of it — the
 /// difference shows up on fleets whose `be_op2` column offers port relief
 /// that the flat affinity model cannot see.
-#[derive(Debug, Default)]
-pub struct PortPolicy;
+#[derive(Debug)]
+pub struct PortPolicy {
+    core: ModelCore,
+}
+
+impl Default for PortPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl PortPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        PortPolicy
+        PortPolicy {
+            core: ModelCore::new(PredictionKind::Port),
+        }
+    }
+
+    /// Memo-disabled variant, mirroring [`SmartPolicy::uncached`].
+    pub fn uncached() -> Self {
+        let mut core = ModelCore::new(PredictionKind::Port);
+        core.cache_enabled = false;
+        PortPolicy { core }
     }
 }
 
@@ -244,37 +583,16 @@ impl DispatchPolicy for PortPolicy {
         idle: &[usize],
         ctx: &DispatchCtx<'_>,
     ) -> Vec<(usize, usize)> {
-        if jobs.is_empty() || idle.is_empty() {
-            return Vec::new();
-        }
-        let cost: Vec<Vec<f64>> = jobs
-            .iter()
-            .map(|j| {
-                idle.iter()
-                    .map(|&s| {
-                        ctx.penalized(
-                            ctx.model.port_predicted_us(&j.spec, ctx.fleet.server(s)) as f64,
-                            s,
-                        )
-                    })
-                    .collect()
-            })
-            .collect();
-        match hungarian::solve_padded(&cost) {
-            Ok(assignment) => assignment
-                .into_iter()
-                .enumerate()
-                .filter_map(|(job_pos, slot)| slot.map(|idle_pos| (job_pos, idle_pos)))
-                .collect(),
-            // Same defensive fallback as SmartPolicy: never crash the
-            // serving loop on a solver bug.
-            Err(_) => jobs
-                .iter()
-                .enumerate()
-                .take(idle.len())
-                .map(|(i, _)| (i, i))
-                .collect(),
-        }
+        self.core.assign_exact(jobs, idle, ctx)
+    }
+
+    fn assign_indexed(
+        &mut self,
+        jobs: &[&PendingJob],
+        idle: &IdleIndex,
+        ctx: &DispatchCtx<'_>,
+    ) -> Vec<(usize, usize)> {
+        self.core.assign_cells(jobs, idle, ctx)
     }
 }
 
@@ -318,6 +636,7 @@ mod tests {
             model,
             now_us: 0,
             health: &[],
+            health_epoch: 0,
         }
     }
 
@@ -440,6 +759,7 @@ mod tests {
             model: &model,
             now_us: 0,
             health: &health,
+            health_epoch: 0,
         };
         let a = p.assign(&refs, &idle, &ctx);
         assert_eq!(a.len(), 1);
@@ -451,6 +771,7 @@ mod tests {
             model: &model,
             now_us: 0,
             health: &all,
+            health_epoch: 0,
         };
         assert_eq!(p.assign(&refs, &idle, &ctx).len(), 1);
     }
@@ -467,6 +788,7 @@ mod tests {
             model: &model,
             now_us: 0,
             health: &health,
+            health_epoch: 0,
         };
         assert_eq!(c.penalized(10.0, 1), 10.0 * SUSPECT_PENALTY);
         assert_eq!(c.penalized(10.0, 0), 10.0);

@@ -9,12 +9,89 @@
 //! interactive traffic survives batch floods. Jobs whose deadline passes
 //! while still queued are dropped at dispatch time (they could only waste a
 //! server).
+//!
+//! Internally each class is an *indexed* FIFO rather than a plain
+//! `VecDeque`: jobs live in a `BTreeMap` keyed by a monotonically assigned
+//! sequence key (FIFO = ascending key, front-insertion = descending keys
+//! below the start), with an earliest-deadline index per class and a global
+//! id index. That keeps every hot-path operation — [`AdmissionQueue::take`]
+//! by id, [`AdmissionQueue::candidates`], and the
+//! [`AdmissionQueue::drop_expired`] sweep — logarithmic in the backlog,
+//! which is what lets the XL discrete-event engine dispatch against
+//! thousand-deep queues without per-event O(queue) scans. The observable
+//! ordering contract is unchanged from the `VecDeque` version.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
 use crate::workload::{JobSpec, Priority};
+
+/// First sequence key handed out; front-insertions count down from here.
+const SEQ_MID: u64 = u64::MAX / 2;
+
+/// One service class: an indexed FIFO with an earliest-deadline view.
+#[derive(Debug, Clone)]
+struct ClassQueue {
+    /// Sequence key → job. FIFO order is ascending key order.
+    jobs: BTreeMap<u64, PendingJob>,
+    /// `(deadline_us, id, seqkey)` — EDF order with a total tie-break.
+    by_deadline: BTreeSet<(u64, u64, u64)>,
+    /// Next key for a front insertion (pre-decremented).
+    front: u64,
+    /// Next key for a back insertion (post-incremented).
+    back: u64,
+}
+
+impl ClassQueue {
+    fn new() -> Self {
+        ClassQueue {
+            jobs: BTreeMap::new(),
+            by_deadline: BTreeSet::new(),
+            front: SEQ_MID,
+            back: SEQ_MID,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn insert_back(&mut self, job: PendingJob) -> u64 {
+        let k = self.back;
+        self.back += 1;
+        self.by_deadline
+            .insert((job.spec.deadline_us, job.spec.id, k));
+        self.jobs.insert(k, job);
+        k
+    }
+
+    fn insert_front(&mut self, job: PendingJob) -> u64 {
+        self.front -= 1;
+        let k = self.front;
+        self.by_deadline
+            .insert((job.spec.deadline_us, job.spec.id, k));
+        self.jobs.insert(k, job);
+        k
+    }
+
+    fn remove_key(&mut self, k: u64) -> Option<PendingJob> {
+        let job = self.jobs.remove(&k)?;
+        self.by_deadline
+            .remove(&(job.spec.deadline_us, job.spec.id, k));
+        Some(job)
+    }
+
+    /// Removes the newest back-of-line job (the displacement victim).
+    fn pop_back(&mut self) -> Option<PendingJob> {
+        let (&k, _) = self.jobs.last_key_value()?;
+        self.remove_key(k)
+    }
+
+    fn min_deadline(&self) -> Option<u64> {
+        self.by_deadline.first().map(|&(d, _, _)| d)
+    }
+}
 
 /// Why a job was shed rather than served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,7 +160,10 @@ pub enum Admission {
 /// Bounded, priority-segregated admission queue.
 #[derive(Debug, Clone)]
 pub struct AdmissionQueue {
-    classes: [VecDeque<PendingJob>; 3],
+    classes: [ClassQueue; 3],
+    /// Job id → (class index, sequence key). Queued ids are unique: a job
+    /// is either queued or in flight, never both.
+    index: BTreeMap<u64, (usize, u64)>,
     cfg: QueueConfig,
 }
 
@@ -91,24 +171,47 @@ impl AdmissionQueue {
     /// Creates an empty queue with the given sizing.
     pub fn new(cfg: QueueConfig) -> Self {
         AdmissionQueue {
-            classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            classes: [ClassQueue::new(), ClassQueue::new(), ClassQueue::new()],
+            index: BTreeMap::new(),
             cfg,
         }
     }
 
     /// Total queued jobs.
     pub fn len(&self) -> usize {
-        self.classes.iter().map(VecDeque::len).sum()
+        self.index.len()
     }
 
     /// Whether nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.classes.iter().all(VecDeque::is_empty)
+        self.index.is_empty()
     }
 
     /// Queued jobs in one class.
     pub fn depth(&self, p: Priority) -> usize {
         self.classes[p.index()].len()
+    }
+
+    /// Earliest deadline of any queued job. `None` when empty. Lets the
+    /// dispatcher skip the expiry sweep entirely while nothing can have
+    /// expired.
+    pub fn min_deadline(&self) -> Option<u64> {
+        self.classes
+            .iter()
+            .filter_map(ClassQueue::min_deadline)
+            .min()
+    }
+
+    /// Displaces the newest job of the lowest-priority backlogged class
+    /// strictly below `k`, if any.
+    fn displace_below(&mut self, k: usize) -> Option<PendingJob> {
+        for lower in (k + 1..Priority::ALL.len()).rev() {
+            if let Some(victim) = self.classes[lower].pop_back() {
+                self.index.remove(&victim.spec.id);
+                return Some(victim);
+            }
+        }
+        None
     }
 
     /// Offers a job. The job lands at the back of its class queue; if that
@@ -118,17 +221,18 @@ impl AdmissionQueue {
     /// batch arrivals outright (pure backpressure).
     pub fn offer(&mut self, job: PendingJob) -> Admission {
         let k = job.spec.priority.index();
+        let id = job.spec.id;
         if self.classes[k].len() < self.cfg.per_class_cap[k] {
-            self.classes[k].push_back(job);
+            let key = self.classes[k].insert_back(job);
+            self.index.insert(id, (k, key));
             return Admission::Admitted;
         }
         // Class full: try to displace from the lowest-priority backlogged
         // class below this job's priority.
-        for lower in (k + 1..Priority::ALL.len()).rev() {
-            if let Some(victim) = self.classes[lower].pop_back() {
-                self.classes[k].push_back(job);
-                return Admission::AdmittedDisplacing(victim);
-            }
+        if let Some(victim) = self.displace_below(k) {
+            let key = self.classes[k].insert_back(job);
+            self.index.insert(id, (k, key));
+            return Admission::AdmittedDisplacing(victim);
         }
         Admission::Refused(job)
     }
@@ -139,15 +243,16 @@ impl AdmissionQueue {
     /// Capacity and displacement rules are identical to [`Self::offer`].
     pub fn offer_front(&mut self, job: PendingJob) -> Admission {
         let k = job.spec.priority.index();
+        let id = job.spec.id;
         if self.classes[k].len() < self.cfg.per_class_cap[k] {
-            self.classes[k].push_front(job);
+            let key = self.classes[k].insert_front(job);
+            self.index.insert(id, (k, key));
             return Admission::Admitted;
         }
-        for lower in (k + 1..Priority::ALL.len()).rev() {
-            if let Some(victim) = self.classes[lower].pop_back() {
-                self.classes[k].push_front(job);
-                return Admission::AdmittedDisplacing(victim);
-            }
+        if let Some(victim) = self.displace_below(k) {
+            let key = self.classes[k].insert_front(job);
+            self.index.insert(id, (k, key));
+            return Admission::AdmittedDisplacing(victim);
         }
         Admission::Refused(job)
     }
@@ -158,41 +263,52 @@ impl AdmissionQueue {
     pub fn drain_all(&mut self) -> Vec<PendingJob> {
         let mut out = Vec::with_capacity(self.len());
         for q in &mut self.classes {
-            out.extend(q.drain(..));
+            // FIFO order = ascending sequence key.
+            while let Some((&k, _)) = q.jobs.first_key_value() {
+                let job = q.remove_key(k).expect("key just observed");
+                self.index.remove(&job.spec.id);
+                out.push(job);
+            }
         }
         out
     }
 
-    /// Removes and returns every queued job whose deadline has passed.
+    /// Removes and returns every queued job whose deadline has passed,
+    /// FIFO order within each class (matching the historical scan order).
     pub fn drop_expired(&mut self, now_us: u64) -> Vec<PendingJob> {
         let mut dropped = Vec::new();
         for q in &mut self.classes {
-            let mut keep = VecDeque::with_capacity(q.len());
-            while let Some(j) = q.pop_front() {
-                if j.spec.deadline_us <= now_us {
-                    dropped.push(j);
-                } else {
-                    keep.push_back(j);
-                }
+            if q.min_deadline().is_none_or(|d| d > now_us) {
+                continue;
             }
-            *q = keep;
+            let mut keys: Vec<u64> = q
+                .by_deadline
+                .iter()
+                .take_while(|&&(d, _, _)| d <= now_us)
+                .map(|&(_, _, k)| k)
+                .collect();
+            keys.sort_unstable();
+            for k in keys {
+                let job = q.remove_key(k).expect("indexed key");
+                self.index.remove(&job.spec.id);
+                dropped.push(job);
+            }
         }
         dropped
     }
 
     /// The first `limit` dispatch candidates: strict priority order, and
     /// earliest-deadline-first within a class (FIFO ties broken by id, so
-    /// the order is total and deterministic).
+    /// the order is total and deterministic). Reads the per-class deadline
+    /// index directly — no sort, O(limit · log backlog).
     pub fn candidates(&self, limit: usize) -> Vec<&PendingJob> {
         let mut out: Vec<&PendingJob> = Vec::new();
         for q in &self.classes {
-            let mut class: Vec<&PendingJob> = q.iter().collect();
-            class.sort_by_key(|j| (j.spec.deadline_us, j.spec.id));
-            for j in class {
+            for &(_, _, k) in &q.by_deadline {
                 if out.len() == limit {
                     return out;
                 }
-                out.push(j);
+                out.push(&q.jobs[&k]);
             }
         }
         out
@@ -200,12 +316,8 @@ impl AdmissionQueue {
 
     /// Removes a specific job by id (after the policy chose it).
     pub fn take(&mut self, id: u64) -> Option<PendingJob> {
-        for q in &mut self.classes {
-            if let Some(pos) = q.iter().position(|j| j.spec.id == id) {
-                return q.remove(pos);
-            }
-        }
-        None
+        let (class, key) = self.index.remove(&id)?;
+        self.classes[class].remove_key(key)
     }
 }
 

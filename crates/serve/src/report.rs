@@ -233,6 +233,36 @@ impl ServingReport {
         }
         out
     }
+
+    /// Renders the report without the per-server block: at XL fleet sizes
+    /// (10k servers) the per-server lines dwarf everything else, and a
+    /// fleet-wide utilization summary says more. Identical to [`render`]
+    /// above that line, still fully deterministic.
+    ///
+    /// [`render`]: ServingReport::render
+    pub fn render_compact(&self) -> String {
+        let mut out = self.render();
+        if let Some(pos) = out.find("  server ") {
+            out.truncate(pos);
+        }
+        let (jobs, busy_us) = self
+            .servers
+            .iter()
+            .fold((0u64, 0u64), |(j, b), s| (j + s.jobs, b + s.busy_us));
+        let mean_util = if self.servers.is_empty() {
+            0.0
+        } else {
+            self.servers.iter().map(|s| s.utilization).sum::<f64>() / self.servers.len() as f64
+        };
+        out.push_str(&format!(
+            "  fleet: servers={} jobs={} busy_us={} mean_util={:.4}\n",
+            self.servers.len(),
+            jobs,
+            busy_us,
+            mean_util
+        ));
+        out
+    }
 }
 
 fn render_latency(out: &mut String, label: &str, s: &LatencyStats) {

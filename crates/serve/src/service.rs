@@ -17,6 +17,7 @@ use vtx_obs::{AlertTransition, ObsConfig, ObsPlane};
 use vtx_telemetry::chaos as chaos_metrics;
 use vtx_telemetry::metrics;
 
+use crate::cells::IdleIndex;
 use crate::chaos::ChaosConfig;
 use crate::cost::CostModel;
 use crate::fleet::Fleet;
@@ -43,6 +44,11 @@ pub struct ServeConfig {
     /// burn-rate alerting (enabled by default; alerting only changes the
     /// event stream when an SLO actually burns).
     pub obs: ObsConfig,
+    /// Cell count for XL two-level dispatch (0 = auto-size at
+    /// [`crate::cells::DEFAULT_CELL_SIZE`] servers per cell). Only read by
+    /// the simulator's XL fast path; small fleets ignore it.
+    #[serde(default)]
+    pub cells: usize,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +60,7 @@ impl Default for ServeConfig {
             collect_event_log: true,
             chaos: ChaosConfig::default(),
             obs: ObsConfig::default(),
+            cells: 0,
         }
     }
 }
@@ -308,6 +315,14 @@ pub struct ServiceCore {
     assignments: Vec<(u64, usize)>,
     /// Detector belief per server, fleet order (all `Up` without chaos).
     health: Vec<Health>,
+    /// Monotone counter bumped on every Suspect / Down / Degrade
+    /// transition. Policies key their cost caches on it: a stable epoch
+    /// guarantees nothing a prediction depends on has changed.
+    health_epoch: u64,
+    /// Cached `Σ speed` over detected-up servers; recomputed only on
+    /// health transitions (the sum is otherwise invariant, and at 10k
+    /// servers re-deriving it per dispatch round dominates the round).
+    up_capacity: f64,
     ladder: DegradeLadder,
     peak_degrade: u8,
     degraded_jobs: u64,
@@ -330,6 +345,10 @@ impl ServiceCore {
         policy: Box<dyn DispatchPolicy>,
     ) -> Self {
         let n = fleet.len();
+        // All servers start Up, so the initial capacity is the whole fleet.
+        // The sum must be taken in fleet order every time it is recomputed
+        // so the f64 value is bit-stable across paths.
+        let up_capacity: f64 = fleet.servers().iter().map(|s| s.speed).sum();
         let queue = AdmissionQueue::new(cfg.queue.clone());
         let ladder = DegradeLadder::new(cfg.chaos.degrade);
         let obs = ObsPlane::new(cfg.obs.clone(), Priority::ALL.len());
@@ -351,6 +370,8 @@ impl ServiceCore {
             server_jobs: vec![0; n],
             assignments: Vec::new(),
             health: vec![Health::Up; n],
+            health_epoch: 0,
+            up_capacity,
             ladder,
             peak_degrade: 0,
             degraded_jobs: 0,
@@ -415,10 +436,24 @@ impl ServiceCore {
         chaos_metrics::publish_detector(up);
     }
 
+    /// Books a health transition: bumps the cache epoch and re-derives the
+    /// detected-up capacity in fleet order (bit-stable f64 sum).
+    fn on_health_transition(&mut self) {
+        self.health_epoch += 1;
+        self.up_capacity = self
+            .health
+            .iter()
+            .zip(self.fleet.servers())
+            .filter(|(&h, _)| h == Health::Up)
+            .map(|(_, s)| s.speed)
+            .sum();
+    }
+
     /// Marks a server suspected (no-op unless it is currently `Up`).
     pub fn mark_suspected(&mut self, server: usize, now_us: u64) {
         if self.health[server] == Health::Up {
             self.health[server] = Health::Suspected;
+            self.on_health_transition();
             self.record(EventRecord::Suspect {
                 t: now_us,
                 server,
@@ -432,6 +467,7 @@ impl ServiceCore {
     pub fn mark_down(&mut self, server: usize, now_us: u64) {
         if self.health[server] != Health::Down {
             self.health[server] = Health::Down;
+            self.on_health_transition();
             self.record(EventRecord::Down {
                 t: now_us,
                 server,
@@ -591,37 +627,7 @@ impl ServiceCore {
     /// front of the queue and the idle servers, and commit its choices.
     /// Returns `(job, server index)` pairs for the driver to start.
     pub fn dispatch(&mut self, idle: &[usize], now_us: u64) -> Vec<(PendingJob, usize)> {
-        for victim in self.queue.drop_expired(now_us) {
-            self.shed_job(&victim, ShedReason::Expired, now_us);
-        }
-        // Feed the degradation ladder: backlog vs detected-up capacity.
-        // A disabled ladder (the default) never leaves level 0, so the
-        // legacy path is untouched.
-        let up_capacity: f64 = self
-            .health
-            .iter()
-            .zip(self.fleet.servers())
-            .filter(|(&h, _)| h == Health::Up)
-            .map(|(_, s)| s.speed)
-            .sum();
-        let prev_level = self.ladder.level();
-        let level = self.ladder.observe(self.queue.len(), up_capacity);
-        if level != prev_level {
-            // Attribute the step: if an SLO burn-rate alert is firing the
-            // ladder is reacting to burn, otherwise to raw backlog.
-            let cause = if self.obs.alert_firing() {
-                Cause::SloBurn
-            } else {
-                Cause::BacklogPressure
-            };
-            self.record(EventRecord::Degrade {
-                t: now_us,
-                level,
-                cause,
-            });
-            chaos_metrics::degrade_level_gauge().set(f64::from(level));
-            self.peak_degrade = self.peak_degrade.max(level);
-        }
+        let level = self.pre_dispatch(now_us);
         // Never place work on a server the detector has declared down.
         let idle: Vec<usize> = idle
             .iter()
@@ -638,6 +644,7 @@ impl ServiceCore {
                 model: &self.model,
                 now_us,
                 health: &self.health,
+                health_epoch: self.health_epoch,
             };
             self.policy
                 .assign(&candidates, &idle, &ctx)
@@ -645,6 +652,79 @@ impl ServiceCore {
                 .map(|(job_pos, idle_pos)| (candidates[job_pos].spec.id, idle[idle_pos]))
                 .collect()
         };
+        self.start_picks(picks, level, now_us)
+    }
+
+    /// The indexed dispatch round used by the XL engine: identical
+    /// semantics to [`ServiceCore::dispatch`] but the policy sees the
+    /// fleet-wide [`IdleIndex`] (which never contains `Down` servers)
+    /// instead of a materialized idle slice, and returns server indices
+    /// directly.
+    pub fn dispatch_indexed(&mut self, idle: &IdleIndex, now_us: u64) -> Vec<(PendingJob, usize)> {
+        let level = self.pre_dispatch(now_us);
+        if idle.total() == 0 || self.queue.is_empty() {
+            return Vec::new();
+        }
+        let picks: Vec<(u64, usize)> = {
+            let candidates = self.queue.candidates(self.cfg.candidate_window);
+            let ctx = DispatchCtx {
+                fleet: &self.fleet,
+                model: &self.model,
+                now_us,
+                health: &self.health,
+                health_epoch: self.health_epoch,
+            };
+            self.policy
+                .assign_indexed(&candidates, idle, &ctx)
+                .into_iter()
+                .map(|(job_pos, server)| (candidates[job_pos].spec.id, server))
+                .collect()
+        };
+        self.start_picks(picks, level, now_us)
+    }
+
+    /// Shared dispatch preamble: expire stale jobs and feed the
+    /// degradation ladder. Returns the (possibly stepped) degrade level.
+    fn pre_dispatch(&mut self, now_us: u64) -> u8 {
+        for victim in self.queue.drop_expired(now_us) {
+            self.shed_job(&victim, ShedReason::Expired, now_us);
+        }
+        // Feed the degradation ladder: backlog vs detected-up capacity.
+        // A disabled ladder (the default) never leaves level 0, so the
+        // legacy path is untouched.
+        let prev_level = self.ladder.level();
+        let level = self.ladder.observe(self.queue.len(), self.up_capacity);
+        if level != prev_level {
+            // A preset downgrade changes what a dispatch costs, so cached
+            // predictions must not outlive the step.
+            self.health_epoch += 1;
+            // Attribute the step: if an SLO burn-rate alert is firing the
+            // ladder is reacting to burn, otherwise to raw backlog.
+            let cause = if self.obs.alert_firing() {
+                Cause::SloBurn
+            } else {
+                Cause::BacklogPressure
+            };
+            self.record(EventRecord::Degrade {
+                t: now_us,
+                level,
+                cause,
+            });
+            chaos_metrics::degrade_level_gauge().set(f64::from(level));
+            self.peak_degrade = self.peak_degrade.max(level);
+        }
+        level
+    }
+
+    /// Commits the policy's `(job id, server)` picks: pulls each job out
+    /// of the queue, applies the degrade ladder's preset downgrade, and
+    /// books the dispatch.
+    fn start_picks(
+        &mut self,
+        picks: Vec<(u64, usize)>,
+        level: u8,
+        now_us: u64,
+    ) -> Vec<(PendingJob, usize)> {
         let mut started = Vec::with_capacity(picks.len());
         for (id, server) in picks {
             // A policy returning stale or duplicate ids is a bug; skip

@@ -2,9 +2,21 @@
 //!
 //! Arrivals come from a pre-generated trace; service times come from
 //! [`CostModel::true_us`], which is a pure function of `(seed, job,
-//! server)`. The event heap orders by `(time, sequence)` so ties break
+//! server)`. Events pop in ascending `(time, sequence)` so ties break
 //! identically run-to-run; given the same workload, fleet and policy, two
 //! runs produce byte-identical event logs, assignment vectors and reports.
+//!
+//! # Scale
+//!
+//! The engine carries no per-event O(fleet) work: events live in an
+//! amortized-O(1) [`CalendarQueue`] (popping in exactly the `(time, seq)`
+//! order the historical binary heap produced) and the idle set lives in an
+//! incrementally maintained [`IdleIndex`] (a Fenwick tree with per-cell
+//! counters). Fleets of at least [`XL_FLEET_THRESHOLD`] servers dispatch
+//! through [`ServiceCore::dispatch_indexed`] — two-level cell routing with
+//! an ε-scaling auction per cell — while smaller fleets keep the
+//! historical exact path whose outputs the committed artifacts pin
+//! byte-for-byte.
 //!
 //! # Fault injection
 //!
@@ -25,12 +37,14 @@
 //!   detected-up idle server; first completion wins, the loser's work is
 //!   discarded (and billed — the server really did it).
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vtx_chaos::{FaultKind, FaultPlan, Health};
 use vtx_telemetry::Span;
 
+use crate::calendar::CalendarQueue;
+use crate::cells::{CellPlan, IdleIndex, XL_FLEET_THRESHOLD};
+use crate::chaos::hedge_due_us;
 use crate::cost::CostModel;
 use crate::error::ServeError;
 use crate::fleet::Fleet;
@@ -54,9 +68,9 @@ pub struct SimOutcome {
     pub obs: vtx_obs::ObsPlane,
 }
 
-/// Heap payload. `Finish` names a `(server, instance)` pair rather than
+/// Event payload. `Finish` names a `(server, instance)` pair rather than
 /// carrying the job: the job lives in the engine's `running` slot so a
-/// crash (or requeue) can invalidate a stale finish without heap surgery.
+/// crash (or requeue) can invalidate a stale finish without queue surgery.
 #[derive(Debug)]
 enum SimEvent {
     Arrive(JobSpec),
@@ -126,10 +140,16 @@ pub fn simulate_trace(
     let plan: FaultPlan = cfg.chaos.plan.clone();
     let detector = cfg.chaos.detector;
     let hedge_after = cfg.chaos.hedge_after;
+    let cells = cfg.cells;
 
     let mut core = ServiceCore::new(cfg, fleet, model, policy);
     let n_servers = core.fleet().len();
+    let xl = n_servers >= XL_FLEET_THRESHOLD;
+    let mut idle = IdleIndex::new(CellPlan::build(n_servers, cells, seed));
     let mut running: Vec<Option<Running>> = (0..n_servers).map(|_| None).collect();
+    // Servers each in-flight copy of a job occupies, so hedge triggers
+    // find the origin without scanning the fleet.
+    let mut running_ids: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
     let mut crashed = vec![false; n_servers];
     // Copies in flight per job id, and the ids already completed — the
     // bookkeeping that makes hedged jobs terminate exactly once.
@@ -137,14 +157,13 @@ pub fn simulate_trace(
     let mut done_ids: BTreeSet<u64> = BTreeSet::new();
     let mut instance: u64 = 0;
 
-    // min-heap on (time, seq); seq is a tie-breaker making pop order total.
-    let mut heap: BinaryHeap<Reverse<(u64, u64, SimEventBox)>> = BinaryHeap::new();
+    // Events pop in ascending (time, seq); seq is a tie-breaker making the
+    // pop order total — identical to the binary heap this replaced.
+    let horizon = jobs.iter().map(|j| j.arrival_us).max().unwrap_or(0) + 1;
+    let mut events: CalendarQueue<SimEvent> = CalendarQueue::new(horizon, jobs.len() * 2 + 64);
     let mut seq: u64 = 0;
-    let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, SimEventBox)>>,
-                seq: &mut u64,
-                t: u64,
-                ev: SimEvent| {
-        heap.push(Reverse((t, *seq, SimEventBox(ev))));
+    let push = |events: &mut CalendarQueue<SimEvent>, seq: &mut u64, t: u64, ev: SimEvent| {
+        events.push(t, *seq, ev);
         *seq += 1;
     };
     // Plan events first: at equal timestamps a fault precedes the arrival
@@ -152,15 +171,15 @@ pub fn simulate_trace(
     for server in 0..n_servers {
         let faults = plan.server(server);
         if let Some(c) = faults.crash_us {
-            push(&mut heap, &mut seq, c, SimEvent::Crash { server });
+            push(&mut events, &mut seq, c, SimEvent::Crash { server });
             push(
-                &mut heap,
+                &mut events,
                 &mut seq,
                 detector.suspect_at(c),
                 SimEvent::Suspect { server },
             );
             push(
-                &mut heap,
+                &mut events,
                 &mut seq,
                 detector.down_at(c),
                 SimEvent::Down { server },
@@ -168,7 +187,7 @@ pub fn simulate_trace(
         }
         for w in &faults.slowdowns {
             push(
-                &mut heap,
+                &mut events,
                 &mut seq,
                 w.from_us,
                 SimEvent::Note {
@@ -179,7 +198,7 @@ pub fn simulate_trace(
         }
         for st in &faults.stalls {
             push(
-                &mut heap,
+                &mut events,
                 &mut seq,
                 st.at_us,
                 SimEvent::Note {
@@ -191,7 +210,7 @@ pub fn simulate_trace(
     }
     for j in jobs {
         push(
-            &mut heap,
+            &mut events,
             &mut seq,
             j.arrival_us,
             SimEvent::Arrive(j.clone()),
@@ -199,7 +218,7 @@ pub fn simulate_trace(
     }
 
     let mut now: u64 = 0;
-    while let Some(Reverse((t, _, SimEventBox(ev)))) = heap.pop() {
+    while let Some((t, _, ev)) = events.pop() {
         now = t;
         match ev {
             SimEvent::Arrive(spec) => {
@@ -219,8 +238,12 @@ pub fn simulate_trace(
             }
             SimEvent::Down { server } => {
                 core.mark_down(server, now);
+                // Down is terminal: the server leaves the idle index for
+                // good, whether it was idle or holding a doomed job.
+                idle.set_busy(server);
                 if let Some(r) = running[server].take() {
                     let id = r.job.spec.id;
+                    forget_copy(&mut running_ids, id, server);
                     let left = copies
                         .get_mut(&id)
                         .map(|c| {
@@ -247,7 +270,9 @@ pub fn simulate_trace(
                     // still held) stays stuck until the down verdict.
                 } else {
                     let r = running[server].take().expect("checked above");
+                    idle.set_idle(server);
                     let id = r.job.spec.id;
+                    forget_copy(&mut running_ids, id, server);
                     let left = copies
                         .get_mut(&id)
                         .map(|c| {
@@ -282,26 +307,29 @@ pub fn simulate_trace(
                 // Fire only if exactly the original copy is still in
                 // flight (not done, not requeued, not already hedged).
                 if !done_ids.contains(&id) && copies.get(&id) == Some(&1) {
-                    let origin = (0..n_servers)
-                        .find(|&s| running[s].as_ref().is_some_and(|r| r.job.spec.id == id));
+                    let origin = running_ids.get(&id).and_then(|v| v.iter().copied().min());
                     if let Some(origin) = origin {
-                        let pick = (0..n_servers)
-                            .filter(|&s| running[s].is_none() && core.health()[s] == Health::Up)
+                        let pick = idle
+                            .to_vec()
+                            .into_iter()
+                            .filter(|&s| core.health()[s] == Health::Up)
                             .min_by_key(|&s| {
-                                let job = &running[origin].as_ref().expect("found above").job;
+                                let job = &running[origin].as_ref().expect("indexed above").job;
                                 (
                                     core.model().predicted_us(&job.spec, core.fleet().server(s)),
                                     s,
                                 )
                             });
                         if let Some(server) = pick {
-                            let job = running[origin].as_ref().expect("found above").job.clone();
+                            let job = running[origin].as_ref().expect("indexed above").job.clone();
                             core.hedge_dispatch(&job, server, now);
                             copies.insert(id, 2);
                             instance += 1;
                             start_copy(
                                 &mut running,
-                                &mut heap,
+                                &mut running_ids,
+                                &mut idle,
+                                &mut events,
                                 &mut seq,
                                 &core,
                                 &plan,
@@ -317,29 +345,35 @@ pub fn simulate_trace(
                 }
             }
         }
-        // Every state change is a dispatch opportunity.
-        let idle: Vec<usize> = (0..n_servers).filter(|&s| running[s].is_none()).collect();
-        for (job, server) in core.dispatch(&idle, now) {
+        // Every state change is a dispatch opportunity. Small fleets keep
+        // the historical materialized-slice path; XL fleets go through the
+        // index (two-level cell-auction dispatch, nothing O(fleet)).
+        let started = if xl {
+            core.dispatch_indexed(&idle, now)
+        } else {
+            let idle_vec = idle.to_vec();
+            core.dispatch(&idle_vec, now)
+        };
+        for (job, server) in started {
             let id = job.spec.id;
             *copies.entry(id).or_insert(0) += 1;
             // Arm the hedge trigger on the first dispatch of an
             // interactive job.
-            if hedge_after < 1.0 && job.spec.priority == Priority::Interactive && job.attempts == 1
-            {
-                let budget = job.spec.deadline_us.saturating_sub(job.spec.arrival_us);
-                let due = job
-                    .spec
-                    .arrival_us
-                    .saturating_add((budget as f64 * hedge_after) as u64);
-                if due > now && due < job.spec.deadline_us {
-                    heap.push(Reverse((due, seq, SimEventBox(SimEvent::HedgeDue { id }))));
-                    seq += 1;
+            if job.spec.priority == Priority::Interactive && job.attempts == 1 {
+                if let Some(due) =
+                    hedge_due_us(job.spec.arrival_us, job.spec.deadline_us, hedge_after)
+                {
+                    if due > now && due < job.spec.deadline_us {
+                        push(&mut events, &mut seq, due, SimEvent::HedgeDue { id });
+                    }
                 }
             }
             instance += 1;
             start_copy(
                 &mut running,
-                &mut heap,
+                &mut running_ids,
+                &mut idle,
+                &mut events,
                 &mut seq,
                 &core,
                 &plan,
@@ -369,6 +403,16 @@ pub fn simulate_trace(
     })
 }
 
+/// Drops one server from a job's set of in-flight copies.
+fn forget_copy(running_ids: &mut BTreeMap<u64, Vec<usize>>, id: u64, server: usize) {
+    if let Some(v) = running_ids.get_mut(&id) {
+        v.retain(|&s| s != server);
+        if v.is_empty() {
+            running_ids.remove(&id);
+        }
+    }
+}
+
 /// Starts one copy of a job on a server: on a live server the finish time
 /// is the fault-inflated service time (capped at the job's timeout); on a
 /// crashed-but-undetected server the copy is simply stuck — no finish is
@@ -376,7 +420,9 @@ pub fn simulate_trace(
 #[allow(clippy::too_many_arguments)]
 fn start_copy(
     running: &mut [Option<Running>],
-    heap: &mut BinaryHeap<Reverse<(u64, u64, SimEventBox)>>,
+    running_ids: &mut BTreeMap<u64, Vec<usize>>,
+    idle: &mut IdleIndex,
+    events: &mut CalendarQueue<SimEvent>,
     seq: &mut u64,
     core: &ServiceCore,
     plan: &FaultPlan,
@@ -387,6 +433,8 @@ fn start_copy(
     instance: u64,
     is_hedge: bool,
 ) {
+    idle.set_busy(server);
+    running_ids.entry(job.spec.id).or_default().push(server);
     if crashed[server] {
         running[server] = Some(Running {
             job,
@@ -415,35 +463,12 @@ fn start_copy(
         is_hedge,
         timed_out,
     });
-    heap.push(Reverse((
+    events.push(
         now.saturating_add(dur),
         *seq,
-        SimEventBox(SimEvent::Finish { server, instance }),
-    )));
+        SimEvent::Finish { server, instance },
+    );
     *seq += 1;
-}
-
-/// Wrapper giving [`SimEvent`] the `Ord` the heap needs without imposing a
-/// semantic order on events themselves: the `(time, seq)` prefix of the
-/// tuple always differs (seq is unique), so this comparison never runs.
-#[derive(Debug)]
-struct SimEventBox(SimEvent);
-
-impl PartialEq for SimEventBox {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl Eq for SimEventBox {}
-impl PartialOrd for SimEventBox {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for SimEventBox {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
 }
 
 #[cfg(test)]

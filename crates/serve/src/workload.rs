@@ -146,6 +146,33 @@ impl WorkloadSpec {
         }
     }
 
+    /// The fig9-XL scenario: one million jobs against a ten-thousand-server
+    /// fleet ([`crate::fleet::Fleet::sized`]`(10_000)`). The arrival rate
+    /// keeps the same per-server offered load as [`Self::bundled`] does at
+    /// five servers, so placement quality — not raw saturation — still
+    /// decides the tail. Intended for the XL engine path (calendar queue,
+    /// idle index, two-level cell-auction dispatch); with the event log and
+    /// observability plane off it completes in minutes.
+    pub fn xl(seed: u64) -> Self {
+        WorkloadSpec {
+            jobs: 1_000_000,
+            arrival_rate_hz: 3_000.0,
+            ..Self::bundled(seed)
+        }
+    }
+
+    /// The CI-sized XL smoke: 20k jobs / intended for a 500-server fleet,
+    /// same per-server load as [`Self::xl`]. Big enough to exercise every
+    /// XL code path (cells, auction warm starts, Fenwick sampling), small
+    /// enough for a two-run byte-determinism check in CI.
+    pub fn xl_smoke(seed: u64) -> Self {
+        WorkloadSpec {
+            jobs: 20_000,
+            arrival_rate_hz: 150.0,
+            ..Self::bundled(seed)
+        }
+    }
+
     /// A tiny real-executor scenario: few jobs, fast presets only (these
     /// run *actual* transcodes, so the work per job must stay test-sized).
     pub fn real_smoke(seed: u64) -> Self {

@@ -7,6 +7,13 @@
 //! jobs on worker threads through the same service core (wall-clock, so
 //! not byte-reproducible).
 //!
+//! `--xl` runs the fleet-scale restatement: 500 servers (20k jobs) by
+//! default, `--xl --full` for 10 000 servers and a million jobs. XL runs
+//! take the two-level dispatch path (consistent-hash cells + auction) and
+//! print the compact per-fleet report instead of 10k per-server lines;
+//! `--cells N` overrides the auto-sized cell count. Still byte-
+//! deterministic per seed.
+//!
 //! `--faults` switches on the chaos study: an 8-way fleet where two
 //! servers are killed at 30% of the run and a third is a 3× fail-slow
 //! straggler, with hedged re-dispatch and the graceful-degradation ladder
@@ -23,6 +30,7 @@
 //!
 //! ```text
 //! cargo run --release --example serve_fleet -- [--seed N] [--smoke]
+//!     [--xl [--full]] [--cells N]
 //!     [--policy random|rr|smart|port|all] [--real] [--faults]
 //!     [--trace-out FILE] [--dump-trace FILE]
 //!     [--metrics-out FILE] [--job-trace FILE]
@@ -85,6 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trace_out = trace_export::init_from_env();
     let mut seed = 42u64;
     let mut smoke = false;
+    let mut xl = false;
+    let mut xl_full = false;
+    let mut cells = 0usize;
     let mut real = false;
     let mut faults = false;
     let mut policy_arg = "all".to_owned();
@@ -99,6 +110,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 seed = args.next().ok_or("--seed needs a value")?.parse::<u64>()?;
             }
             "--smoke" => smoke = true,
+            "--xl" => xl = true,
+            "--full" => xl_full = true,
+            "--cells" => {
+                cells = args
+                    .next()
+                    .ok_or("--cells needs a value")?
+                    .parse::<usize>()?;
+            }
             "--real" => real = true,
             "--faults" => faults = true,
             "--policy" => {
@@ -167,7 +186,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
         }
     } else {
-        let workload = if smoke {
+        let workload = if xl && xl_full {
+            WorkloadSpec::xl(seed)
+        } else if xl {
+            WorkloadSpec::xl_smoke(seed)
+        } else if smoke {
             WorkloadSpec::smoke(seed)
         } else {
             WorkloadSpec::bundled(seed)
@@ -177,7 +200,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::fs::write(path, render_trace(&jobs))?;
             println!("wrote {} trace lines to {path}", jobs.len());
         }
-        let fleet = if faults {
+        let fleet = if xl && xl_full {
+            Fleet::sized(10_000)?
+        } else if xl {
+            Fleet::sized(500)?
+        } else if faults {
             Fleet::sized(8)?
         } else {
             Fleet::table_iv()
@@ -208,14 +235,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 },
                 ..ServeConfig::default()
             }
+        } else if xl {
+            // XL runs skip the event log and obs plane: at fleet scale both
+            // are overhead, and the compact report carries the findings.
+            ServeConfig {
+                collect_event_log: false,
+                obs: vtx_obs::ObsConfig::disabled(),
+                cells,
+                ..ServeConfig::default()
+            }
         } else {
-            ServeConfig::default()
+            ServeConfig {
+                cells,
+                ..ServeConfig::default()
+            }
         };
         for name in policies {
             let policy =
                 policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
             let out = simulate_trace(&jobs, seed, fleet.clone(), policy, cfg.clone())?;
-            println!("\n{}", out.report.render());
+            if xl {
+                println!("\n{}", out.report.render_compact());
+            } else {
+                println!("\n{}", out.report.render());
+            }
             if smoke {
                 // The smoke event log is small enough to print whole; the CI
                 // determinism check byte-compares it across runs.

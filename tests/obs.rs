@@ -180,6 +180,8 @@ fn trajectory_schema_roundtrips_through_its_own_validator() {
         scenario: "faulted".to_owned(),
         policy: r.policy.clone(),
         seed: r.seed,
+        servers: 8,
+        cells: 0,
         offered: r.offered,
         completed: r.completed,
         slo_violations: r.slo_violations,

@@ -3,9 +3,12 @@
 //! shedding under pressure, and the real threaded executor driving actual
 //! transcodes through the same service core.
 
+use vtx_obs::ObsConfig;
+use vtx_sched::{auction, hungarian};
+use vtx_serve::chaos::ChaosConfig;
 use vtx_serve::exec::{run_real, ExecConfig};
 use vtx_serve::fleet::Fleet;
-use vtx_serve::policy::policy_by_name;
+use vtx_serve::policy::{policy_by_name, DispatchPolicy, PortPolicy, SmartPolicy};
 use vtx_serve::queue::QueueConfig;
 use vtx_serve::service::{render_event_log, ServeConfig};
 use vtx_serve::sim::{simulate, simulate_trace, SimOutcome};
@@ -205,4 +208,175 @@ fn real_executor_accounts_for_every_job() {
     );
     let busy: u64 = r.servers.iter().map(|s| s.busy_us).sum();
     assert!(busy > 0, "servers must have accumulated busy time");
+}
+
+/// XL configuration used by the fleet-scale tests: no event log, obs
+/// plane off — mirrors what the fig9_xl bench and `--xl` example run.
+fn xl_config(cells: usize) -> ServeConfig {
+    ServeConfig {
+        collect_event_log: false,
+        obs: ObsConfig::disabled(),
+        cells,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn auction_matches_hungarian_on_fig9_sized_matrices() {
+    // The XL path replaces per-dispatch Hungarian with an ε-scaling
+    // auction. On fig9-sized problems (≤ 8 jobs × 8 servers) both must
+    // find an assignment of identical total cost: the auction scales
+    // costs internally so its final ε guarantees exact optimality on
+    // integer inputs.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % 30_000_000
+    };
+    for trial in 0..200usize {
+        let m = 1 + trial % 8; // jobs
+        let n = 1 + (trial / 8) % 8; // servers
+        let cost_u: Vec<Vec<u64>> = (0..m).map(|_| (0..n).map(|_| next()).collect()).collect();
+        let cost_f: Vec<Vec<f64>> = cost_u
+            .iter()
+            .map(|row| row.iter().map(|&c| c as f64).collect())
+            .collect();
+        let a = auction::solve_padded(&cost_u).expect("auction solves");
+        let h = hungarian::solve_padded(&cost_f).expect("hungarian solves");
+        let assigned = |sol: &[Option<usize>]| sol.iter().flatten().count();
+        assert_eq!(
+            assigned(&a),
+            assigned(&h),
+            "trial {trial}: both must assign min(jobs, servers) = {}",
+            m.min(n)
+        );
+        let auction_total = auction::assignment_cost(&cost_u, &a);
+        let hungarian_total: u64 = h
+            .iter()
+            .enumerate()
+            .filter_map(|(j, s)| s.map(|s| cost_u[j][s]))
+            .sum();
+        assert_eq!(
+            auction_total, hungarian_total,
+            "trial {trial} ({m}x{n}): auction total must equal the Hungarian optimum"
+        );
+    }
+}
+
+#[test]
+fn cost_cache_does_not_change_fig9_output() {
+    // The smart/port cost cache must be a pure speedup: the faulted fig9
+    // scenario (Suspect and Down transitions invalidate the cache) must
+    // produce byte-identical reports, event logs and assignments with the
+    // cache on and off.
+    let w = WorkloadSpec::bundled(42);
+    let jobs = w.generate().unwrap();
+    let horizon = jobs.iter().map(|j| j.arrival_us).max().unwrap();
+    type PolicyCtor = fn() -> Box<dyn DispatchPolicy>;
+    let pairs: [(&str, PolicyCtor, PolicyCtor); 2] = [
+        (
+            "smart",
+            || Box::new(SmartPolicy::new()),
+            || Box::new(SmartPolicy::uncached()),
+        ),
+        (
+            "port",
+            || Box::new(PortPolicy::new()),
+            || Box::new(PortPolicy::uncached()),
+        ),
+    ];
+    for (name, cached, uncached) in pairs {
+        for faulted in [false, true] {
+            let cfg = if faulted {
+                ServeConfig {
+                    chaos: ChaosConfig::kill_two_straggle_one(w.seed, 8, horizon),
+                    ..ServeConfig::default()
+                }
+            } else {
+                ServeConfig::default()
+            };
+            let fleet = if faulted {
+                Fleet::sized(8).unwrap()
+            } else {
+                Fleet::table_iv()
+            };
+            let a = simulate_trace(&jobs, w.seed, fleet.clone(), cached(), cfg.clone()).unwrap();
+            let b = simulate_trace(&jobs, w.seed, fleet, uncached(), cfg).unwrap();
+            assert_eq!(
+                a.assignments, b.assignments,
+                "{name} faulted={faulted}: assignments"
+            );
+            assert_eq!(
+                render_event_log(&a.event_log),
+                render_event_log(&b.event_log),
+                "{name} faulted={faulted}: event log"
+            );
+            assert_eq!(a.report, b.report, "{name} faulted={faulted}: report");
+        }
+    }
+}
+
+#[test]
+fn xl_smoke_is_byte_deterministic_and_conserves_jobs() {
+    // Scaled-down XL (500 servers / 20k jobs) through the two-level
+    // cell + auction dispatch path: two same-seed runs must agree exactly,
+    // and every admitted job must reach exactly one terminal state.
+    let w = WorkloadSpec::xl_smoke(42);
+    let run = || {
+        simulate(
+            &w,
+            Fleet::sized(500).unwrap(),
+            policy_by_name("smart", w.seed).unwrap(),
+            xl_config(0),
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.assignments, b.assignments, "xl: assignments");
+    assert_eq!(a.report, b.report, "xl: report");
+    assert_eq!(a.report.render(), b.report.render(), "xl: rendered report");
+    let r = &a.report;
+    assert_eq!(r.offered, w.jobs as u64, "xl: all jobs offered");
+    assert_eq!(
+        r.completed + r.shed_total(),
+        r.offered,
+        "xl: conservation through the cell path"
+    );
+    assert_eq!(
+        r.sojourn.count, r.completed,
+        "xl: one sojourn per completion"
+    );
+    let per_server: u64 = r.servers.iter().map(|s| s.jobs).sum();
+    assert_eq!(
+        per_server, r.completed,
+        "xl: per-server completions sum to the fleet total (no double billing)"
+    );
+}
+
+#[test]
+fn cell_rebalance_conserves_jobs() {
+    // Forcing a different cell plan moves jobs between cells but must
+    // never lose or double-bill one. An odd, non-divisor cell count
+    // exercises uneven cells; assignments must stay inside the fleet.
+    let w = WorkloadSpec::xl_smoke(7);
+    let n_servers = 500usize;
+    let out = simulate(
+        &w,
+        Fleet::sized(n_servers).unwrap(),
+        policy_by_name("smart", w.seed).unwrap(),
+        xl_config(7),
+    )
+    .unwrap();
+    let r = &out.report;
+    assert_eq!(r.completed + r.shed_total(), r.offered, "conservation");
+    assert!(r.completed > 0, "cells must still serve traffic");
+    assert!(
+        out.assignments.iter().all(|&(_, s)| s < n_servers),
+        "every assignment lands on a real server"
+    );
+    let per_server: u64 = r.servers.iter().map(|s| s.jobs).sum();
+    assert_eq!(per_server, r.completed, "per-server sums match completions");
 }

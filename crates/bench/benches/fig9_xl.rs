@@ -51,6 +51,7 @@ fn xl_row(
         seed: r.seed,
         servers,
         cells,
+        segments: 0,
         offered: r.offered,
         completed: r.completed,
         slo_violations: r.slo_violations,

@@ -160,6 +160,14 @@ pub struct EncoderConfig {
     /// the serial one — bitstream and profiler counts do not change.
     #[serde(default = "default_threads")]
     pub threads: u32,
+    /// Display-frame indices at which an IDR keyframe is forced (segment
+    /// boundaries for the CMAF-style segmenter). A forced cut is *closed-
+    /// GOP*: the lookahead demotes any B-run that would straddle it and the
+    /// encoder clears the reference anchors, so every record from the cut
+    /// onward decodes without any state from before it. Empty (the default)
+    /// leaves the bitstream byte-identical to pre-`force_kf` encoders.
+    #[serde(default)]
+    pub force_kf: Vec<u32>,
 }
 
 fn default_threads() -> u32 {
@@ -184,6 +192,7 @@ impl Default for EncoderConfig {
             cabac: true,
             keyint: 250,
             threads: default_threads(),
+            force_kf: Vec::new(),
         }
     }
 }
@@ -204,6 +213,14 @@ impl EncoderConfig {
     /// Sets the wavefront worker-thread count (`0` = auto). Builder-style.
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the forced-IDR display indices (GOP-aligned segment
+    /// boundaries). Out-of-range indices are ignored at encode time; order
+    /// and duplicates do not matter. Builder-style.
+    pub fn with_force_kf(mut self, force_kf: Vec<u32>) -> Self {
+        self.force_kf = force_kf;
         self
     }
 

@@ -136,6 +136,13 @@ pub fn decode_video(bs: &Bitstream, prof: &mut Profiler) -> Result<DecodedVideo,
             0 => FrameType::I,
             1 => FrameType::P,
             2 => FrameType::B,
+            3 => {
+                // IDR: a forced segment-boundary keyframe. Mirror the
+                // encoder by dropping every reference anchor before the
+                // frame decodes — nothing may predict across the cut.
+                st.anchors.clear();
+                FrameType::I
+            }
             _ => {
                 return Err(CodecError::CorruptBitstream {
                     offset: pos,
@@ -721,6 +728,80 @@ mod tests {
             };
             assert!(decode_video(&bs, &mut p).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn forced_idr_cut_decodes_standalone() {
+        // A forced keyframe must reset prediction state so the records from
+        // the cut onward form a self-contained stream: rebuild them under a
+        // fresh header and the real decoder must reproduce the encoder's
+        // reconstruction without ever seeing the frames before the cut.
+        let v = tiny_video("cricket"); // 6 frames
+        let n = v.frames.len();
+        let cut = 3usize;
+        let cfg = EncoderConfig::default().with_force_kf(vec![cut as u32]);
+        let mut p = prof();
+        let enc = encode_video(&v, &cfg, &mut p).unwrap();
+
+        // Whole-stream roundtrip still matches the encoder recon.
+        let dec = decode_video(&enc.bitstream, &mut p).unwrap();
+        for (i, (d, e)) in dec.frames.iter().zip(enc.recon.iter()).enumerate() {
+            assert_eq!(d, e, "frame {i} decode != encoder recon");
+        }
+
+        // Walk the records: header is 17 bytes, then per-record
+        // ftype u8 + display u16 LE + qp u8 + len u32 LE + payload.
+        let data = &enc.bitstream.data;
+        let mut pos = 17usize;
+        let mut idr_seen = false;
+        let mut tail = Vec::new(); // records with display >= cut, rebased
+        while pos < data.len() {
+            let ftype = data[pos];
+            let display = usize::from(u16::from_le_bytes([data[pos + 1], data[pos + 2]]));
+            let len =
+                u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]])
+                    as usize;
+            let rec_end = pos + 8 + len;
+            if display == cut {
+                assert_eq!(ftype, 3, "forced cut must be coded as an IDR record");
+                idr_seen = true;
+            }
+            if display >= cut {
+                assert!(idr_seen, "segment records must start at the IDR");
+                let mut rec = data[pos..rec_end].to_vec();
+                let rebased = (display - cut) as u16;
+                rec[1..3].copy_from_slice(&rebased.to_le_bytes());
+                tail.extend_from_slice(&rec);
+            }
+            pos = rec_end;
+        }
+        assert!(idr_seen, "IDR record missing");
+
+        // Standalone stream: original header with frame_count patched.
+        let mut seg = data[..17].to_vec();
+        seg[10..12].copy_from_slice(&((n - cut) as u16).to_le_bytes());
+        seg.extend_from_slice(&tail);
+        let out = decode_video(&Bitstream { data: seg }, &mut p).unwrap();
+        assert_eq!(out.frames.len(), n - cut);
+        for (i, f) in out.frames.iter().enumerate() {
+            assert_eq!(
+                f,
+                &enc.recon[cut + i],
+                "standalone frame {i} != whole-clip recon {}",
+                cut + i
+            );
+        }
+    }
+
+    #[test]
+    fn empty_force_kf_leaves_bitstream_unchanged() {
+        let v = tiny_video("girl");
+        let mut p1 = prof();
+        let base = encode_video(&v, &EncoderConfig::default(), &mut p1).unwrap();
+        let mut p2 = prof();
+        let cfg = EncoderConfig::default().with_force_kf(Vec::new());
+        let same = encode_video(&v, &cfg, &mut p2).unwrap();
+        assert_eq!(base.bitstream, same.bitstream);
     }
 
     #[test]

@@ -246,6 +246,14 @@ fn encode_inner(
         let qp = rc.frame_qp(ftype, la.complexity[display], ci);
         prof.kernel(K_RC, 1, 140, 10);
 
+        // A forced segment-boundary I frame is an IDR: drop every reference
+        // anchor *before* encoding so nothing after the cut predicts across
+        // it. The decoder mirrors this on frame-type byte 3.
+        let forced_idr = ftype == FrameType::I && cfg.force_kf.contains(&(display as u32));
+        if forced_idr {
+            st.anchors.clear();
+        }
+
         let (payload, recon, frame_qp) = if cfg.cabac {
             encode_frame(
                 &mut st,
@@ -282,6 +290,7 @@ fn encode_inner(
         });
 
         data.push(match ftype {
+            FrameType::I if forced_idr => 3u8,
             FrameType::I => 0u8,
             FrameType::P => 1,
             FrameType::B => 2,

@@ -74,6 +74,14 @@ pub fn analyze(video: &Video, cfg: &EncoderConfig, prof: &mut Profiler) -> Looka
             types[i] = FrameType::I;
         }
     }
+    // Forced IDR cuts (segment boundaries). Set before B assignment so
+    // `assign_b_frames` never plans a run across a boundary.
+    for &k in &cfg.force_kf {
+        let k = k as usize;
+        if k < n {
+            types[k] = FrameType::I;
+        }
+    }
 
     if cfg.bframes > 0 {
         assign_b_frames(&mut types, &complexity, cfg, prof);
@@ -83,6 +91,23 @@ pub fn analyze(video: &Video, cfg: &EncoderConfig, prof: &mut Profiler) -> Looka
     if let Some(last) = types.last_mut() {
         if *last == FrameType::B {
             *last = FrameType::P;
+        }
+    }
+
+    // Closed GOP at every forced cut: a B frame just before the boundary
+    // would reference the boundary I as its future anchor and be coded
+    // *after* it, interleaving the previous segment's records into the new
+    // one. Demote the trailing B run to P so each segment's records are
+    // contiguous and reference nothing across the cut.
+    for &k in &cfg.force_kf {
+        let k = k as usize;
+        if k == 0 || k >= n {
+            continue;
+        }
+        let mut j = k;
+        while j > 0 && types[j - 1] == FrameType::B {
+            types[j - 1] = FrameType::P;
+            j -= 1;
         }
     }
 
@@ -303,5 +328,44 @@ mod tests {
             let r = analyze(&v, &EncoderConfig::default(), &mut prof());
             assert_ne!(*r.types.last().unwrap(), FrameType::B, "{name}");
         }
+    }
+
+    #[test]
+    fn forced_cuts_are_i_frames_with_closed_gops() {
+        let v = video("desktop");
+        let n = v.frames.len();
+        let cuts: Vec<u32> = vec![n as u32 / 3, 2 * n as u32 / 3];
+        let cfg = EncoderConfig::default().with_force_kf(cuts.clone());
+        let r = analyze(&v, &cfg, &mut prof());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n];
+            for (k, &i) in r.coding_order.iter().enumerate() {
+                p[i] = k;
+            }
+            p
+        };
+        for &k in &cuts {
+            let k = k as usize;
+            assert_eq!(r.types[k], FrameType::I, "forced index {k} must be I");
+            // Closed GOP: the frame before the cut is an anchor, so no
+            // record from before the cut is coded after the cut's I frame.
+            assert_ne!(r.types[k - 1], FrameType::B, "no B straddles cut {k}");
+            for i in 0..k {
+                assert!(
+                    pos[i] < pos[k],
+                    "frame {i} coded after forced cut {k} — segment not contiguous"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_forced_cuts_are_ignored() {
+        let v = video("desktop");
+        let cfg = EncoderConfig::default().with_force_kf(vec![10_000]);
+        let base = analyze(&v, &EncoderConfig::default(), &mut prof());
+        let forced = analyze(&v, &cfg, &mut prof());
+        assert_eq!(base.types, forced.types);
+        assert_eq!(base.coding_order, forced.coding_order);
     }
 }

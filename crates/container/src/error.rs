@@ -1,0 +1,76 @@
+//! Structured container errors.
+//!
+//! Mirrors the codec's decode-error discipline: a truncated or corrupted
+//! box tree must produce an `Err` naming the byte offset and what was being
+//! parsed there — never a panic. The serving layer's retry machinery
+//! consumes these the same way it consumes `vtx_codec::CodecError`.
+
+use std::fmt;
+
+/// Why a container parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The data ended before the structure at `offset` was complete.
+    Truncated {
+        /// Byte offset where more data was expected.
+        offset: usize,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// The bytes at `offset` are structurally invalid.
+    Corrupt {
+        /// Byte offset of the inconsistency.
+        offset: usize,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// A manifest line failed to parse.
+    Manifest {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::Truncated { offset, context } => {
+                write!(f, "truncated container at byte {offset} ({context})")
+            }
+            ContainerError::Corrupt { offset, context } => {
+                write!(f, "corrupt container at byte {offset} ({context})")
+            }
+            ContainerError::Manifest { line, message } => {
+                write!(f, "manifest line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_offset_and_context() {
+        let e = ContainerError::Truncated {
+            offset: 12,
+            context: "box header",
+        };
+        assert_eq!(e.to_string(), "truncated container at byte 12 (box header)");
+        let e = ContainerError::Corrupt {
+            offset: 3,
+            context: "fourcc",
+        };
+        assert!(e.to_string().contains("corrupt"));
+        let e = ContainerError::Manifest {
+            line: 4,
+            message: "bad EXTINF".into(),
+        };
+        assert_eq!(e.to_string(), "manifest line 4: bad EXTINF");
+    }
+}

@@ -19,16 +19,19 @@
 use crate::json::{self, JsonValue};
 
 /// Schema version written to and required from `BENCH_serving.json`.
-/// Version 2 added the fleet-shape columns `servers` and `cells`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version 2 added the fleet-shape columns `servers` and `cells`;
+/// version 3 added `segments` (per-(segment, rung) dispatch units offered,
+/// 0 for whole-clip scenarios).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Fields every row must carry, in serialization order.
-const ROW_FIELDS: [&str; 17] = [
+const ROW_FIELDS: [&str; 18] = [
     "scenario",
     "policy",
     "seed",
     "servers",
     "cells",
+    "segments",
     "offered",
     "completed",
     "slo_violations",
@@ -56,6 +59,9 @@ pub struct TrajectoryRow {
     pub servers: u64,
     /// Dispatch cells (0 = single-level exact dispatch, no cells).
     pub cells: u64,
+    /// Per-(segment, rung) dispatch units offered when the scenario ran
+    /// segmented ABR serving; 0 = whole-clip jobs.
+    pub segments: u64,
     /// Jobs offered.
     pub offered: u64,
     /// Jobs completed.
@@ -152,6 +158,7 @@ impl BenchTrajectory {
             field(&mut out, "seed", &row.seed.to_string(), false);
             field(&mut out, "servers", &row.servers.to_string(), false);
             field(&mut out, "cells", &row.cells.to_string(), false);
+            field(&mut out, "segments", &row.segments.to_string(), false);
             field(&mut out, "offered", &row.offered.to_string(), false);
             field(&mut out, "completed", &row.completed.to_string(), false);
             field(
@@ -202,7 +209,7 @@ impl BenchTrajectory {
 
     /// Parses and schema-checks a serialized trajectory document.
     ///
-    /// Checks: top-level `schema == 2`, `bench` is a string, `rows` is a
+    /// Checks: top-level `schema == 3`, `bench` is a string, `rows` is a
     /// non-empty array, every row carries every field in [`ROW_FIELDS`]
     /// with the right type, and basic metric sanity (`completed + shed ≤
     /// offered` would be wrong — hedges never over-complete, so
@@ -254,6 +261,7 @@ impl BenchTrajectory {
                 seed: u64_field("seed")?,
                 servers: u64_field("servers")?,
                 cells: u64_field("cells")?,
+                segments: u64_field("segments")?,
                 offered: u64_field("offered")?,
                 completed: u64_field("completed")?,
                 slo_violations: u64_field("slo_violations")?,
@@ -302,6 +310,7 @@ mod tests {
             seed: 42,
             servers: 5,
             cells: 0,
+            segments: 0,
             offered: 240,
             completed: 238,
             slo_violations: 3,

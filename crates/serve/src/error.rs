@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use vtx_container::ContainerError;
 use vtx_core::CoreError;
 use vtx_sched::SchedError;
 
@@ -41,6 +42,8 @@ pub enum ServeError {
     Sched(SchedError),
     /// A real-executor transcode failed.
     Core(CoreError),
+    /// Packaging a segment or manifest failed.
+    Container(ContainerError),
 }
 
 impl fmt::Display for ServeError {
@@ -65,6 +68,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Sched(e) => write!(f, "dispatch solver error: {e}"),
             ServeError::Core(e) => write!(f, "transcode error: {e}"),
+            ServeError::Container(e) => write!(f, "packaging error: {e}"),
         }
     }
 }
@@ -74,6 +78,7 @@ impl Error for ServeError {
         match self {
             ServeError::Sched(e) => Some(e),
             ServeError::Core(e) => Some(e),
+            ServeError::Container(e) => Some(e),
             _ => None,
         }
     }
@@ -88,6 +93,12 @@ impl From<SchedError> for ServeError {
 impl From<CoreError> for ServeError {
     fn from(e: CoreError) -> Self {
         ServeError::Core(e)
+    }
+}
+
+impl From<ContainerError> for ServeError {
+    fn from(e: ContainerError) -> Self {
+        ServeError::Container(e)
     }
 }
 

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use vtx_chaos::{FailureDetector, FaultKind, Health};
 use vtx_core::{CoreError, TranscodeOptions, Transcoder};
-use vtx_frame::{synth, vbench};
+use vtx_frame::{synth, vbench, Video};
 use vtx_telemetry::Span;
 
 use crate::cost::CostModel;
@@ -32,6 +32,7 @@ use crate::error::ServeError;
 use crate::fleet::Fleet;
 use crate::policy::DispatchPolicy;
 use crate::queue::PendingJob;
+use crate::segment::SegmentPlan;
 use crate::service::{ServeConfig, ServiceCore};
 use crate::sim::SimOutcome;
 use crate::workload::{JobSpec, Priority, WorkloadSpec};
@@ -112,16 +113,74 @@ pub fn run_real_trace(
     policy: Box<dyn DispatchPolicy>,
     cfg: &ExecConfig,
 ) -> Result<SimOutcome, ServeError> {
-    if jobs.is_empty() {
-        return Err(ServeError::EmptyWorkload);
-    }
-    let _span = Span::enter_with("serve/run_real", |a| {
-        a.u64("jobs", jobs.len() as u64);
-        a.u64("seed", seed);
-    });
+    run_real_inner(jobs, seed, fleet, policy, cfg, None)
+}
 
-    // One mezzanine encode per distinct video, shared by every worker.
+/// Runs a segment plan's units with real transcodes: each worker encodes
+/// the unit's actual GOP-aligned slice of the source clip at the unit's
+/// rung. True service times are scaled to the unit's frame share via
+/// [`ServeConfig::unit_frames`], and clip geometry follows the plan's
+/// `tiny` flag (not [`ExecConfig::tiny_videos`]) so the slice boundaries
+/// match the plan's cut points.
+///
+/// # Errors
+///
+/// Same conditions as [`run_real`].
+pub fn run_real_segmented(
+    plan: &SegmentPlan,
+    seed: u64,
+    fleet: Fleet,
+    policy: Box<dyn DispatchPolicy>,
+    cfg: &ExecConfig,
+) -> Result<SimOutcome, ServeError> {
+    let mut cfg = cfg.clone();
+    cfg.serve.unit_frames = plan.unit_frames();
+    let mut jobs = plan.units.clone();
+    compress_arrivals(&mut jobs, cfg.arrival_compression);
+    run_real_inner(&jobs, seed, fleet, policy, &cfg, Some(plan))
+}
+
+/// Builds the worker transcoder pool. Whole-clip runs get one mezzanine
+/// per distinct video keyed by name; segmented runs get one per distinct
+/// (video, segment) slice keyed `"{video}#{seg}"`, cut from the same
+/// seeded synthesis the plan's packaging path uses.
+fn build_pool(
+    jobs: &[JobSpec],
+    seed: u64,
+    cfg: &ExecConfig,
+    seg: Option<&SegmentPlan>,
+) -> Result<BTreeMap<String, Arc<Transcoder>>, ServeError> {
     let mut transcoders: BTreeMap<String, Arc<Transcoder>> = BTreeMap::new();
+    if let Some(plan) = seg {
+        let mut fulls: BTreeMap<String, Video> = BTreeMap::new();
+        for p in &plan.parents {
+            if !fulls.contains_key(&p.video) {
+                let mut spec =
+                    vbench::by_name(&p.video).ok_or_else(|| ServeError::UnknownVideo {
+                        name: p.video.clone(),
+                    })?;
+                if plan.tiny {
+                    spec.sim_width = 64;
+                    spec.sim_height = 48;
+                    spec.sim_frames = 6;
+                }
+                fulls.insert(p.video.clone(), synth::generate(&spec, seed));
+            }
+            let full = &fulls[&p.video];
+            for (si, &start) in p.points.iter().enumerate() {
+                let key = format!("{}#{si}", p.video);
+                if transcoders.contains_key(&key) {
+                    continue;
+                }
+                let end = p.points.get(si + 1).copied().unwrap_or(p.frames) as usize;
+                let mut spec = full.spec.clone();
+                spec.sim_frames = (end - start as usize) as u32;
+                let slice = Video::new(spec, full.frames[start as usize..end].to_vec());
+                transcoders.insert(key, Arc::new(Transcoder::from_video(slice)?));
+            }
+        }
+        return Ok(transcoders);
+    }
     for j in jobs {
         if transcoders.contains_key(&j.task.video) {
             continue;
@@ -137,6 +196,29 @@ pub fn run_real_trace(
         let t = Transcoder::from_video(synth::generate(&spec, seed))?;
         transcoders.insert(j.task.video.clone(), Arc::new(t));
     }
+    Ok(transcoders)
+}
+
+fn run_real_inner(
+    jobs: &[JobSpec],
+    seed: u64,
+    fleet: Fleet,
+    policy: Box<dyn DispatchPolicy>,
+    cfg: &ExecConfig,
+    seg: Option<&SegmentPlan>,
+) -> Result<SimOutcome, ServeError> {
+    if jobs.is_empty() {
+        return Err(ServeError::EmptyWorkload);
+    }
+    let _span = Span::enter_with("serve/run_real", |a| {
+        a.u64("jobs", jobs.len() as u64);
+        a.u64("seed", seed);
+    });
+
+    let transcoders = build_pool(jobs, seed, cfg, seg)?;
+    // Segment index per dense unit id; `None` = whole-clip pool keys.
+    let seg_of: Option<Arc<Vec<u32>>> =
+        seg.map(|plan| Arc::new(plan.meta.iter().map(|m| m.seg as u32).collect()));
 
     let model = CostModel::new(seed);
     let mut core = ServiceCore::new(cfg.serve.clone(), fleet, model, policy);
@@ -168,6 +250,7 @@ pub fn run_real_trace(
         let pool = transcoders.clone();
         let plan_w = plan.clone();
         let dead = crash_flags[idx].clone();
+        let seg_map = seg_of.clone();
         workers.push(thread::spawn(move || {
             while let Ok((job, started_us)) = rx.recv() {
                 if dead.load(Ordering::Acquire) {
@@ -177,8 +260,12 @@ pub fn run_real_trace(
                 }
                 let opts = TranscodeOptions::on(uarch.clone()).with_sample_shift(sample_shift);
                 let work_start = start.elapsed().as_micros() as u64;
+                let key = match &seg_map {
+                    Some(m) => format!("{}#{}", job.spec.task.video, m[job.spec.id as usize]),
+                    None => job.spec.task.video.clone(),
+                };
                 let result = pool
-                    .get(&job.spec.task.video)
+                    .get(&key)
                     .expect("transcoder pre-built for every trace video")
                     .transcode(&job.spec.task.encoder_config(), &opts)
                     .map(|_| ());

@@ -35,6 +35,11 @@
 //! * [`exec`] — the real executor: wall-clock time, per-server worker
 //!   threads running actual profiled [`vtx_core::Transcoder`] jobs through
 //!   the same service core.
+//! * [`segment`] — segmented ABR serving: a catalog job decomposes into
+//!   per-(segment, rung) dispatch units ([`segment::SegmentPlan`]) that
+//!   flow through the same machinery; completed jobs package into CMAF
+//!   segments and HLS manifests via `vtx-container`, byte-deterministic
+//!   per seed in both drivers.
 //! * [`report`] — exact p50/p90/p99 sojourn statistics, shed/violation
 //!   rates, per-server utilization, deterministic text rendering.
 //! * [`chaos`] — fault injection and recovery: a seeded [`chaos::FaultPlan`]
@@ -85,6 +90,7 @@ pub mod policy;
 pub mod queue;
 pub mod report;
 pub mod rng;
+pub mod segment;
 pub mod service;
 pub mod sim;
 pub mod workload;
@@ -93,7 +99,8 @@ pub use chaos::{ChaosConfig, FaultPlan};
 pub use error::ServeError;
 pub use fleet::{Fleet, ServerSpec};
 pub use policy::{policy_by_name, DispatchPolicy};
-pub use report::{FaultAccounting, ServingReport};
+pub use report::{FaultAccounting, SegmentStats, ServingReport};
+pub use segment::{SegmentOptions, SegmentPlan};
 pub use service::{ServeConfig, ServiceCore, CLASS_NAMES};
 pub use sim::{simulate, SimOutcome};
 pub use workload::{JobSpec, Priority, WorkloadSpec};

@@ -111,6 +111,26 @@ pub struct FaultAccounting {
     pub peak_degrade_level: u8,
 }
 
+/// Segment-granular accounting for a run whose dispatch units are
+/// per-(segment, rung) pieces of catalog jobs (see [`crate::segment`]).
+/// `None` on whole-clip runs, so legacy reports render byte-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentStats {
+    /// Catalog jobs the workload described.
+    pub parents: u64,
+    /// Parents whose manifest is assemblable: every (segment, rung) unit
+    /// of the job completed.
+    pub parents_complete: u64,
+    /// Dispatch units offered (Σ segments × rungs over parents).
+    pub units: u64,
+    /// Units that completed.
+    pub units_complete: u64,
+    /// Per-rung `(name, units, completed)`, ladder order.
+    pub per_rung: Vec<(String, u64, u64)>,
+    /// Per-segment-index `(units, completed)`; index = position in clip.
+    pub per_segment: Vec<(u64, u64)>,
+}
+
 /// Everything a serving run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -151,6 +171,10 @@ pub struct ServingReport {
     pub sojourn_by_class: [LatencyStats; 3],
     /// Per-server accounting, fleet order.
     pub servers: Vec<ServerStats>,
+    /// Segment-granular accounting; `None` on whole-clip runs (the driver
+    /// fills this in from the segment plan after the run).
+    #[serde(default)]
+    pub segments: Option<SegmentStats>,
 }
 
 impl ServingReport {
@@ -221,6 +245,24 @@ impl ServingReport {
             f.degraded_jobs,
             f.peak_degrade_level
         ));
+        if let Some(seg) = &self.segments {
+            out.push_str(&format!(
+                "  segments: parents={}/{} units={}/{}\n",
+                seg.parents_complete, seg.parents, seg.units_complete, seg.units
+            ));
+            for (name, units, done) in &seg.per_rung {
+                out.push_str(&format!(
+                    "  rung {:<12} units={:<5} completed={}\n",
+                    name, units, done
+                ));
+            }
+            for (i, (units, done)) in seg.per_segment.iter().enumerate() {
+                out.push_str(&format!(
+                    "  seg  {:<12} units={:<5} completed={}\n",
+                    i, units, done
+                ));
+            }
+        }
         render_latency(&mut out, "sojourn(all)", &self.sojourn);
         for (p, stats) in Priority::ALL.iter().zip(self.sojourn_by_class.iter()) {
             render_latency(&mut out, p.name(), stats);
@@ -365,6 +407,7 @@ mod tests {
                 busy_us: 1_500_000,
                 utilization: 0.75,
             }],
+            segments: None,
         }
     }
 

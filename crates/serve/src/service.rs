@@ -20,7 +20,7 @@ use vtx_telemetry::metrics;
 use crate::cells::IdleIndex;
 use crate::chaos::ChaosConfig;
 use crate::cost::CostModel;
-use crate::fleet::Fleet;
+use crate::fleet::{Fleet, ServerSpec};
 use crate::policy::{DispatchCtx, DispatchPolicy};
 use crate::queue::{Admission, AdmissionQueue, PendingJob, QueueConfig, ShedReason};
 use crate::report::{FaultAccounting, LatencyStats, ServerStats, ServingReport};
@@ -49,6 +49,12 @@ pub struct ServeConfig {
     /// the simulator's XL fast path; small fleets ignore it.
     #[serde(default)]
     pub cells: usize,
+    /// Per-unit `(frames, total_frames)` when jobs are per-(segment, rung)
+    /// dispatch units (see [`crate::segment`]), indexed by dense job id.
+    /// Scales true service time by the unit's share of the clip. Empty =
+    /// whole-clip jobs; service times are untouched.
+    #[serde(default)]
+    pub unit_frames: Vec<(u32, u32)>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +67,7 @@ impl Default for ServeConfig {
             chaos: ChaosConfig::default(),
             obs: ObsConfig::default(),
             cells: 0,
+            unit_frames: Vec::new(),
         }
     }
 }
@@ -409,6 +416,22 @@ impl ServiceCore {
     /// The cost model (drivers bill truth from it).
     pub fn model(&self) -> &CostModel {
         &self.model
+    }
+
+    /// True service time for a job, scaled to the unit's share of its
+    /// parent clip when segment-granular dispatch is active. A unit
+    /// covering `frames` of a `total`-frame clip costs that fraction of
+    /// the whole-clip time (never rounded below 1 µs); with no segment
+    /// plan this is exactly [`CostModel::true_us`].
+    pub fn true_service_us(&self, spec: &JobSpec, server_idx: usize, server: &ServerSpec) -> u64 {
+        let t = self.model.true_us(spec, server_idx, server);
+        match self.cfg.unit_frames.get(spec.id as usize) {
+            Some(&(frames, total)) if total > 0 => {
+                let scaled = u128::from(t) * u128::from(frames) / u128::from(total);
+                (scaled as u64).max(1)
+            }
+            _ => t,
+        }
     }
 
     /// The policy's report name.
@@ -935,6 +958,7 @@ impl ServiceCore {
                 LatencyStats::from_samples(&self.sojourns_by_class[2]),
             ],
             servers,
+            segments: None,
         };
         (report, self.log, self.obs)
     }

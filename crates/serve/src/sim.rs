@@ -445,9 +445,7 @@ fn start_copy(
         });
         return;
     }
-    let true_us = core
-        .model()
-        .true_us(&job.spec, server, core.fleet().server(server));
+    let true_us = core.true_service_us(&job.spec, server, core.fleet().server(server));
     let wall = plan.inflate(server, now, true_us);
     // A run longer than the job's timeout is killed at the timeout mark;
     // the server is occupied (and billed) until then.

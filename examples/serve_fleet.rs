@@ -20,6 +20,16 @@
 //! armed. Still a pure function of the seed — the CI `chaos-determinism`
 //! job byte-compares two faulted runs.
 //!
+//! `--segments MS` switches on segmented ABR serving: every catalog job
+//! decomposes into per-(segment, rung) dispatch units (GOP-aligned ~MS-
+//! millisecond segments × the `--ladder` rungs, default
+//! `hi=medium:20,mid=veryfast:26,lo=ultrafast:32`) that flow through the
+//! same admission/dispatch/chaos machinery; the report gains per-rung and
+//! per-segment completion counts and a job finishes only when its manifest
+//! assembles from all rung segments. `--manifest-out DIR` then writes the
+//! HLS playlists plus the actual muxed CMAF init/media segments — byte-
+//! deterministic per seed in both `--real` and simulated modes.
+//!
 //! Observability exports: `--metrics-out FILE` writes the run's Prometheus
 //! exposition (per-class completion counters, sojourn quantile summaries,
 //! alert gauges); `--job-trace FILE` writes the per-job lifecycle trace —
@@ -32,17 +42,20 @@
 //! cargo run --release --example serve_fleet -- [--seed N] [--smoke]
 //!     [--xl [--full]] [--cells N]
 //!     [--policy random|rr|smart|port|all] [--real] [--faults]
+//!     [--segments MS] [--ladder SPEC] [--manifest-out DIR]
 //!     [--trace-out FILE] [--dump-trace FILE]
 //!     [--metrics-out FILE] [--job-trace FILE]
 //! ```
 
+use vtx_container::Ladder;
 use vtx_core::trace_export;
 use vtx_obs::ObsPlane;
 use vtx_serve::chaos::{ChaosConfig, DegradeConfig, FaultPlan};
-use vtx_serve::exec::{run_real, ExecConfig};
+use vtx_serve::exec::{run_real, run_real_segmented, ExecConfig};
 use vtx_serve::fleet::Fleet;
 use vtx_serve::policy::policy_by_name;
-use vtx_serve::service::{render_event_log, ServeConfig};
+use vtx_serve::segment::{SegmentOptions, SegmentPlan};
+use vtx_serve::service::{render_event_log, EventRecord, ServeConfig};
 use vtx_serve::sim::simulate_trace;
 use vtx_serve::workload::{render_trace, WorkloadSpec};
 use vtx_serve::CLASS_NAMES;
@@ -89,6 +102,62 @@ fn write_obs_outputs(
     Ok(())
 }
 
+/// Build the segmentation options from `--segments MS` and an optional
+/// `--ladder SPEC` (defaults to the standard 3-rung ABR ladder).
+fn segment_opts(
+    target_ms: u32,
+    ladder_spec: Option<&str>,
+) -> Result<SegmentOptions, Box<dyn std::error::Error>> {
+    let mut opts = SegmentOptions {
+        target_ms,
+        ..SegmentOptions::default()
+    };
+    if let Some(spec) = ladder_spec {
+        opts.ladder = Ladder::parse(spec)?;
+    }
+    Ok(opts)
+}
+
+/// Dump the run's HLS playlists plus the actual muxed CMAF segments for
+/// every job whose manifest assembled, under `dir` (per-policy subdir when
+/// several policies run). The CI `container-determinism` job `diff -r`s
+/// two same-seed dumps.
+fn write_manifest_artifacts(
+    base: &str,
+    policy: &str,
+    multi: bool,
+    plan: &SegmentPlan,
+    seed: u64,
+    log: &[EventRecord],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = if multi {
+        std::path::PathBuf::from(base).join(policy)
+    } else {
+        std::path::PathBuf::from(base)
+    };
+    let manifests = plan.manifests(log);
+    let artifacts = plan.materialize(seed, log)?;
+    let mut files = 0usize;
+    for (rel, body) in manifests
+        .iter()
+        .map(|(r, b)| (r, b.as_bytes()))
+        .chain(artifacts.iter().map(|(r, b)| (r, b.as_slice())))
+    {
+        let path = dir.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, body)?;
+        files += 1;
+    }
+    println!(
+        "wrote {files} playlist/segment files ({} complete jobs) to {}",
+        plan.complete_parents(log).len(),
+        dir.display()
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trace_out = trace_export::init_from_env();
     let mut seed = 42u64;
@@ -99,6 +168,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut real = false;
     let mut faults = false;
     let mut policy_arg = "all".to_owned();
+    let mut segments_ms: Option<u32> = None;
+    let mut ladder_spec: Option<String> = None;
+    let mut manifest_out: Option<String> = None;
     let mut dump_trace: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut job_trace: Option<String> = None;
@@ -123,6 +195,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--policy" => {
                 policy_arg = args.next().ok_or("--policy needs a value")?;
             }
+            "--segments" => {
+                segments_ms = Some(
+                    args.next()
+                        .ok_or("--segments needs a target duration in ms")?
+                        .parse::<u32>()?,
+                );
+            }
+            "--ladder" => {
+                ladder_spec = Some(args.next().ok_or("--ladder needs a spec")?);
+            }
+            "--manifest-out" => {
+                manifest_out = Some(args.next().ok_or("--manifest-out needs a directory")?);
+            }
             "--dump-trace" => {
                 dump_trace = Some(args.next().ok_or("--dump-trace needs a file path")?);
             }
@@ -139,6 +224,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             other => return Err(format!("unknown flag: {other}").into()),
         }
+    }
+
+    if xl && segments_ms.is_some() {
+        return Err("--segments is a catalog-scale mode; it does not combine with --xl".into());
+    }
+    if segments_ms.is_none() && (ladder_spec.is_some() || manifest_out.is_some()) {
+        return Err("--ladder and --manifest-out require --segments".into());
     }
 
     let policies: Vec<&str> = match policy_arg.as_str() {
@@ -172,11 +264,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             println!("faults: worker 2 killed 40 ms into the run");
         }
+        let plan = match segments_ms {
+            Some(ms) => {
+                let parents = workload.generate()?;
+                let plan =
+                    SegmentPlan::expand(&parents, &segment_opts(ms, ladder_spec.as_deref())?)?;
+                println!(
+                    "segmented: {} jobs -> {} units ({} rungs, target {} ms)",
+                    plan.parents.len(),
+                    plan.units.len(),
+                    plan.ladder.rungs.len(),
+                    plan.target_ms
+                );
+                Some(plan)
+            }
+            None => None,
+        };
         for name in policies {
             let policy =
                 policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
-            let out = run_real(&workload, Fleet::table_iv(), policy, &cfg)?;
+            let mut out = match &plan {
+                Some(plan) => run_real_segmented(plan, seed, Fleet::table_iv(), policy, &cfg)?,
+                None => run_real(&workload, Fleet::table_iv(), policy, &cfg)?,
+            };
+            if let Some(plan) = &plan {
+                out.report.segments = Some(plan.stats(&out.event_log));
+            }
             println!("\n{}", out.report.render());
+            if let (Some(plan), Some(dir)) = (&plan, &manifest_out) {
+                write_manifest_artifacts(dir, name, multi, plan, seed, &out.event_log)?;
+            }
             write_obs_outputs(
                 &out.obs,
                 metrics_out.as_deref(),
@@ -222,8 +339,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         );
         let jobs = workload.generate()?;
-        let horizon = jobs.iter().map(|j| j.arrival_us).max().unwrap_or(0);
-        let cfg = if faults {
+        let plan = match segments_ms {
+            Some(ms) => {
+                let plan = SegmentPlan::expand(&jobs, &segment_opts(ms, ladder_spec.as_deref())?)?;
+                println!(
+                    "segmented: {} jobs -> {} units ({} rungs, target {} ms)",
+                    plan.parents.len(),
+                    plan.units.len(),
+                    plan.ladder.rungs.len(),
+                    plan.target_ms
+                );
+                Some(plan)
+            }
+            None => None,
+        };
+        let sim_jobs = plan.as_ref().map_or(&jobs[..], |p| &p.units[..]);
+        let horizon = sim_jobs.iter().map(|j| j.arrival_us).max().unwrap_or(0);
+        let mut cfg = if faults {
             ServeConfig {
                 chaos: ChaosConfig {
                     hedge_after: 0.5,
@@ -250,14 +382,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..ServeConfig::default()
             }
         };
+        if let Some(plan) = &plan {
+            cfg.unit_frames = plan.unit_frames();
+        }
         for name in policies {
             let policy =
                 policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
-            let out = simulate_trace(&jobs, seed, fleet.clone(), policy, cfg.clone())?;
+            let mut out = simulate_trace(sim_jobs, seed, fleet.clone(), policy, cfg.clone())?;
+            if let Some(plan) = &plan {
+                out.report.segments = Some(plan.stats(&out.event_log));
+            }
             if xl {
                 println!("\n{}", out.report.render_compact());
             } else {
                 println!("\n{}", out.report.render());
+            }
+            if let (Some(plan), Some(dir)) = (&plan, &manifest_out) {
+                write_manifest_artifacts(dir, name, multi, plan, seed, &out.event_log)?;
             }
             if smoke {
                 // The smoke event log is small enough to print whole; the CI

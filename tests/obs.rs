@@ -182,6 +182,7 @@ fn trajectory_schema_roundtrips_through_its_own_validator() {
         seed: r.seed,
         servers: 8,
         cells: 0,
+        segments: 0,
         offered: r.offered,
         completed: r.completed,
         slo_violations: r.slo_violations,

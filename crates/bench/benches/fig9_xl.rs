@@ -56,11 +56,13 @@ fn xl_row(
         completed: r.completed,
         slo_violations: r.slo_violations,
         shed: r.shed_total(),
+        shed_rung: 0,
         p50_sojourn_us: r.sojourn.p50_us,
         p99_sojourn_us: r.sojourn.p99_us,
         throughput_milli_jps: milli(r.throughput_jps),
         goodput_milli_jps: milli(r.goodput_jps),
         availability_milli: milli(r.availability),
+        cache_hit_milli: 0,
         alerts: 0,
         makespan_us: r.makespan_us,
         wall_ms,

@@ -68,10 +68,29 @@ fn secs_to_ms(s: &str, line: usize) -> Result<u32, ContainerError> {
     Ok(whole * 1000 + frac)
 }
 
+/// Marker tag a degraded master playlist carries right after the version
+/// line: the server shed some rungs and is serving the ones that finished.
+pub const DEGRADED_TAG: &str = "#EXT-X-VTX-DEGRADED:1";
+
 /// Renders a master playlist.
 pub fn render_master(m: &MasterPlaylist) -> String {
+    render_master_inner(m, false)
+}
+
+/// Renders a *degraded* master playlist: same format plus the
+/// [`DEGRADED_TAG`] marker, used for partial-manifest delivery when only a
+/// subset of the ladder's rungs completed.
+pub fn render_master_degraded(m: &MasterPlaylist) -> String {
+    render_master_inner(m, true)
+}
+
+fn render_master_inner(m: &MasterPlaylist, degraded: bool) -> String {
     let mut out = String::new();
     out.push_str("#EXTM3U\n#EXT-X-VERSION:7\n");
+    if degraded {
+        out.push_str(DEGRADED_TAG);
+        out.push('\n');
+    }
     for v in &m.variants {
         out.push_str(&format!(
             "#EXT-X-STREAM-INF:BANDWIDTH={},NAME=\"{}\"\n{}\n",
@@ -81,16 +100,33 @@ pub fn render_master(m: &MasterPlaylist) -> String {
     out
 }
 
-/// Parses a master playlist rendered by [`render_master`].
+/// Parses a master playlist rendered by [`render_master`] or
+/// [`render_master_degraded`], ignoring the degraded marker. Use
+/// [`parse_master_flagged`] to recover the marker.
 ///
 /// # Errors
 ///
 /// Returns [`ContainerError::Manifest`] with the offending 1-based line on
 /// any structural deviation.
 pub fn parse_master(text: &str) -> Result<MasterPlaylist, ContainerError> {
-    let mut lines = text.lines().enumerate();
+    parse_master_flagged(text).map(|(m, _)| m)
+}
+
+/// Parses a master playlist and reports whether it carried the
+/// [`DEGRADED_TAG`] marker.
+///
+/// # Errors
+///
+/// Returns [`ContainerError::Manifest`] with the offending 1-based line on
+/// any structural deviation.
+pub fn parse_master_flagged(text: &str) -> Result<(MasterPlaylist, bool), ContainerError> {
+    let mut lines = text.lines().enumerate().peekable();
     expect_line(&mut lines, "#EXTM3U")?;
     expect_line(&mut lines, "#EXT-X-VERSION:7")?;
+    let degraded = matches!(lines.peek(), Some((_, line)) if *line == DEGRADED_TAG);
+    if degraded {
+        lines.next();
+    }
     let mut variants = Vec::new();
     while let Some((i, line)) = lines.next() {
         let lineno = i + 1;
@@ -132,7 +168,7 @@ pub fn parse_master(text: &str) -> Result<MasterPlaylist, ContainerError> {
             uri: uri.to_string(),
         });
     }
-    Ok(MasterPlaylist { variants })
+    Ok((MasterPlaylist { variants }, degraded))
 }
 
 /// Renders a media playlist. Target duration is the ceiling of the longest
@@ -297,6 +333,21 @@ mod tests {
         let text = render_master(&m);
         assert_eq!(parse_master(&text).unwrap(), m);
         assert_eq!(render_master(&parse_master(&text).unwrap()), text);
+        assert_eq!(parse_master_flagged(&text).unwrap(), (m, false));
+    }
+
+    #[test]
+    fn degraded_master_roundtrip_is_exact() {
+        let m = master();
+        let text = render_master_degraded(&m);
+        assert!(text.contains(DEGRADED_TAG));
+        // The tag survives a flagged parse and is ignored by the plain one.
+        assert_eq!(parse_master_flagged(&text).unwrap(), (m.clone(), true));
+        assert_eq!(parse_master(&text).unwrap(), m);
+        assert_eq!(
+            render_master_degraded(&parse_master_flagged(&text).unwrap().0),
+            text
+        );
     }
 
     #[test]

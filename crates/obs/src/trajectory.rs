@@ -21,11 +21,13 @@ use crate::json::{self, JsonValue};
 /// Schema version written to and required from `BENCH_serving.json`.
 /// Version 2 added the fleet-shape columns `servers` and `cells`;
 /// version 3 added `segments` (per-(segment, rung) dispatch units offered,
-/// 0 for whole-clip scenarios).
-pub const SCHEMA_VERSION: u64 = 3;
+/// 0 for whole-clip scenarios); version 4 added the segment-cache columns
+/// `shed_rung` (units shed from the highest ladder rung) and
+/// `cache_hit_milli` (cache hit rate in milli-units, 0 when uncached).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Fields every row must carry, in serialization order.
-const ROW_FIELDS: [&str; 18] = [
+const ROW_FIELDS: [&str; 20] = [
     "scenario",
     "policy",
     "seed",
@@ -36,11 +38,13 @@ const ROW_FIELDS: [&str; 18] = [
     "completed",
     "slo_violations",
     "shed",
+    "shed_rung",
     "p50_sojourn_us",
     "p99_sojourn_us",
     "throughput_milli_jps",
     "goodput_milli_jps",
     "availability_milli",
+    "cache_hit_milli",
     "alerts",
     "makespan_us",
     "wall_ms",
@@ -70,6 +74,10 @@ pub struct TrajectoryRow {
     pub slo_violations: u64,
     /// Jobs shed (all causes).
     pub shed: u64,
+    /// Shed units belonging to the highest ladder rung (rung 0). Under
+    /// rung-ordered displacement pressure sheds the `hi` rung before
+    /// whole jobs; 0 for whole-clip scenarios.
+    pub shed_rung: u64,
     /// Median end-to-end sojourn, microseconds.
     pub p50_sojourn_us: u64,
     /// p99 end-to-end sojourn, microseconds.
@@ -80,6 +88,9 @@ pub struct TrajectoryRow {
     pub goodput_milli_jps: u64,
     /// Fraction of offered jobs completed, milli-units (997 = 99.7%).
     pub availability_milli: u64,
+    /// Segment-cache hit rate, milli-units (400 = 40% of lookups hit);
+    /// 0 when the scenario ran without a cache.
+    pub cache_hit_milli: u64,
     /// SLO burn-rate alert transitions during the run.
     pub alerts: u64,
     /// Simulated makespan, microseconds.
@@ -168,6 +179,7 @@ impl BenchTrajectory {
                 false,
             );
             field(&mut out, "shed", &row.shed.to_string(), false);
+            field(&mut out, "shed_rung", &row.shed_rung.to_string(), false);
             field(
                 &mut out,
                 "p50_sojourn_us",
@@ -196,6 +208,12 @@ impl BenchTrajectory {
                 &mut out,
                 "availability_milli",
                 &row.availability_milli.to_string(),
+                false,
+            );
+            field(
+                &mut out,
+                "cache_hit_milli",
+                &row.cache_hit_milli.to_string(),
                 false,
             );
             field(&mut out, "alerts", &row.alerts.to_string(), false);
@@ -266,11 +284,13 @@ impl BenchTrajectory {
                 completed: u64_field("completed")?,
                 slo_violations: u64_field("slo_violations")?,
                 shed: u64_field("shed")?,
+                shed_rung: u64_field("shed_rung")?,
                 p50_sojourn_us: u64_field("p50_sojourn_us")?,
                 p99_sojourn_us: u64_field("p99_sojourn_us")?,
                 throughput_milli_jps: u64_field("throughput_milli_jps")?,
                 goodput_milli_jps: u64_field("goodput_milli_jps")?,
                 availability_milli: u64_field("availability_milli")?,
+                cache_hit_milli: u64_field("cache_hit_milli")?,
                 alerts: u64_field("alerts")?,
                 makespan_us: u64_field("makespan_us")?,
                 wall_ms: u64_field("wall_ms")?,
@@ -285,6 +305,18 @@ impl BenchTrajectory {
                 return Err(format!(
                     "row {i}: availability_milli {} > 1000",
                     parsed.availability_milli
+                ));
+            }
+            if parsed.cache_hit_milli > 1000 {
+                return Err(format!(
+                    "row {i}: cache_hit_milli {} > 1000",
+                    parsed.cache_hit_milli
+                ));
+            }
+            if parsed.shed_rung > parsed.shed {
+                return Err(format!(
+                    "row {i}: shed_rung {} > shed {}",
+                    parsed.shed_rung, parsed.shed
                 ));
             }
             if parsed.p50_sojourn_us > parsed.p99_sojourn_us {
@@ -315,11 +347,13 @@ mod tests {
             completed: 238,
             slo_violations: 3,
             shed: 2,
+            shed_rung: 1,
             p50_sojourn_us: 41_000,
             p99_sojourn_us: 180_000,
             throughput_milli_jps: 12_345,
             goodput_milli_jps: 12_100,
             availability_milli: 991,
+            cache_hit_milli: 425,
             alerts: 2,
             makespan_us: 19_000_000,
             wall_ms: 0,
@@ -380,6 +414,15 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.contains("availability"), "{err}");
+        let err = BenchTrajectory::validate_str(
+            &json.replace("\"cache_hit_milli\": 425", "\"cache_hit_milli\": 1500"),
+        )
+        .unwrap_err();
+        assert!(err.contains("cache_hit_milli"), "{err}");
+        let err =
+            BenchTrajectory::validate_str(&json.replace("\"shed_rung\": 1", "\"shed_rung\": 99"))
+                .unwrap_err();
+        assert!(err.contains("shed_rung"), "{err}");
         assert!(BenchTrajectory::validate_str("{}").is_err());
         assert!(BenchTrajectory::validate_str("not json").is_err());
     }

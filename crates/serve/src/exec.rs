@@ -80,7 +80,9 @@ struct Done {
     server: usize,
     job: PendingJob,
     started_us: u64,
-    result: Result<(), CoreError>,
+    /// `Ok` carries the encoded artifact size in bytes (from the report's
+    /// bitrate × duration), which sizes the segment-cache insertion.
+    result: Result<u64, CoreError>,
 }
 
 /// Replays a workload with real transcodes on worker threads.
@@ -268,7 +270,7 @@ fn run_real_inner(
                     .get(&key)
                     .expect("transcoder pre-built for every trace video")
                     .transcode(&job.spec.task.encoder_config(), &opts)
-                    .map(|_| ());
+                    .map(|r| ((r.bitrate_kbps * r.seconds * 125.0) as u64).max(1));
                 let now = start.elapsed().as_micros() as u64;
                 if dead.load(Ordering::Acquire) {
                     // Died mid-transcode: the finished work is lost.
@@ -393,6 +395,15 @@ fn run_real_inner(
         let idle: Vec<usize> = (0..n_servers).filter(|&s| !busy[s]).collect();
         let t = now_us();
         for (job, server) in core.dispatch(&idle, t) {
+            // A cache hit never reaches a worker: the artifact already
+            // exists, so the job completes on the spot for the lookup cost
+            // (sub-millisecond against the wall clock — booked as zero).
+            if core.cache_lookup(&job, server, t).is_some() {
+                core.complete(&job, server, t, t);
+                done_ids.insert(job.spec.id);
+                makespan = makespan.max(t);
+                continue;
+            }
             busy[server] = true;
             in_flight += 1;
             let id = job.spec.id;
@@ -500,7 +511,7 @@ fn run_real_inner(
                     copies.remove(&id);
                 }
                 match done.result {
-                    Ok(()) => {
+                    Ok(bytes) => {
                         if done_ids.contains(&id) {
                             // The other copy already won; bill the work.
                             core.hedge_discard(id, done.server, done.started_us, t);
@@ -510,6 +521,7 @@ fn run_real_inner(
                             if was_hedge {
                                 core.note_hedge_won();
                             }
+                            core.cache_insert(&done.job, done.server, Some(bytes));
                         }
                     }
                     Err(_) => {

@@ -39,7 +39,18 @@
 //!   per-(segment, rung) dispatch units ([`segment::SegmentPlan`]) that
 //!   flow through the same machinery; completed jobs package into CMAF
 //!   segments and HLS manifests via `vtx-container`, byte-deterministic
-//!   per seed in both drivers.
+//!   per seed in both drivers. Overload shedding is ladder-aware
+//!   (unit-granular, highest-quality rung displaced first) and delivery
+//!   is partial: [`segment::SegmentPlan::manifests_partial`] serves the
+//!   finished rungs of an incomplete job under a degraded-flagged master.
+//! * segment caching (`vtx-cache`) — [`service::ServeConfig::cache`] puts
+//!   a byte-capacity-bounded deterministic segment cache keyed by
+//!   (video, knobs, rung, segment) in front of dispatch, with pluggable
+//!   LRU / LFU / GDSF eviction: a hit skips the transcode and bills only
+//!   the lookup cost, a miss populates on completion, and both drivers
+//!   consume it identically. Pair with
+//!   [`workload::WorkloadSpec::with_popularity`] (seeded Zipf catalog
+//!   skew + live/VOD split) to model repeat-heavy production traffic.
 //! * [`report`] — exact p50/p90/p99 sojourn statistics, shed/violation
 //!   rates, per-server utilization, deterministic text rendering.
 //! * [`chaos`] — fault injection and recovery: a seeded [`chaos::FaultPlan`]

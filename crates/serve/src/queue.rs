@@ -88,6 +88,29 @@ impl ClassQueue {
         self.remove_key(k)
     }
 
+    /// Removes the displacement victim under a rung table: the queued unit
+    /// on the *highest-quality* rung (lowest rung index, `hi` = 0) goes
+    /// first, newest within a rung — shedding a `hi` rendition of one job
+    /// beats shedding a whole competing job. Falls back to [`pop_back`]
+    /// when no table is set (whole-clip runs).
+    ///
+    /// [`pop_back`]: ClassQueue::pop_back
+    fn pop_victim(&mut self, rungs: &[u8]) -> Option<PendingJob> {
+        if rungs.is_empty() {
+            return self.pop_back();
+        }
+        let k = self
+            .jobs
+            .iter()
+            .map(|(&k, j)| {
+                let r = rungs.get(j.spec.id as usize).copied().unwrap_or(0);
+                (r, std::cmp::Reverse(k))
+            })
+            .min()
+            .map(|(_, std::cmp::Reverse(k))| k)?;
+        self.remove_key(k)
+    }
+
     fn min_deadline(&self) -> Option<u64> {
         self.by_deadline.first().map(|&(d, _, _)| d)
     }
@@ -165,6 +188,10 @@ pub struct AdmissionQueue {
     /// is either queued or in flight, never both.
     index: BTreeMap<u64, (usize, u64)>,
     cfg: QueueConfig,
+    /// Ladder rung per job id (0 = `hi`) on segmented runs; empty on
+    /// whole-clip runs. Switches displacement from job-granular newest-
+    /// first to unit-granular rung-ordered (see [`ClassQueue::pop_victim`]).
+    rungs: Vec<u8>,
 }
 
 impl AdmissionQueue {
@@ -174,7 +201,15 @@ impl AdmissionQueue {
             classes: [ClassQueue::new(), ClassQueue::new(), ClassQueue::new()],
             index: BTreeMap::new(),
             cfg,
+            rungs: Vec::new(),
         }
+    }
+
+    /// Installs the per-unit rung table (indexed by job id, 0 = `hi`) that
+    /// makes displacement unit-granular and rung-ordered. An empty table
+    /// restores the legacy job-granular newest-first victim choice.
+    pub fn set_rung_table(&mut self, rungs: Vec<u8>) {
+        self.rungs = rungs;
     }
 
     /// Total queued jobs.
@@ -202,11 +237,13 @@ impl AdmissionQueue {
             .min()
     }
 
-    /// Displaces the newest job of the lowest-priority backlogged class
-    /// strictly below `k`, if any.
+    /// Displaces from the lowest-priority backlogged class strictly below
+    /// `k`, if any: the newest job (whole-clip runs), or the newest unit
+    /// on the highest-quality rung when a rung table is installed — so the
+    /// `hi` rendition is shed before anything that would cost a whole job.
     fn displace_below(&mut self, k: usize) -> Option<PendingJob> {
         for lower in (k + 1..Priority::ALL.len()).rev() {
-            if let Some(victim) = self.classes[lower].pop_back() {
+            if let Some(victim) = self.classes[lower].pop_victim(&self.rungs) {
                 self.index.remove(&victim.spec.id);
                 return Some(victim);
             }
@@ -371,6 +408,30 @@ mod tests {
         }
         assert_eq!(q.depth(Priority::Interactive), 2);
         assert_eq!(q.depth(Priority::Batch), 0);
+    }
+
+    #[test]
+    fn rung_table_makes_displacement_rung_ordered() {
+        let mut q = AdmissionQueue::new(QueueConfig {
+            per_class_cap: [1, 1, 4],
+        });
+        // Unit rungs by job id: 0→mid, 1→hi, 2→lo, 3→hi.
+        q.set_rung_table(vec![1, 0, 2, 0]);
+        for id in 0..4 {
+            assert_eq!(q.offer(job(id, Priority::Batch, 100)), Admission::Admitted);
+        }
+        q.offer(job(10, Priority::Interactive, 100));
+        let displace =
+            |q: &mut AdmissionQueue, id: u64| match q.offer(job(id, Priority::Interactive, 100)) {
+                Admission::AdmittedDisplacing(v) => v.spec.id,
+                other => panic!("expected displacement, got {other:?}"),
+            };
+        // hi-rung units go first (newest hi first), then mid, then lo —
+        // NOT the plain newest-first order (which would start with 3, 2).
+        assert_eq!(displace(&mut q, 11), 3, "newest hi unit first");
+        assert_eq!(displace(&mut q, 12), 1, "older hi unit next");
+        assert_eq!(displace(&mut q, 13), 0, "mid before lo");
+        assert_eq!(displace(&mut q, 14), 2, "lo last");
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub struct SegmentStats {
     /// Parents whose manifest is assemblable: every (segment, rung) unit
     /// of the job completed.
     pub parents_complete: u64,
+    /// Parents serving a *degraded* manifest: at least one rung finished
+    /// every segment, but not all rungs did (see
+    /// [`crate::segment::SegmentPlan::manifests_partial`]).
+    #[serde(default)]
+    pub parents_degraded: u64,
     /// Dispatch units offered (Σ segments × rungs over parents).
     pub units: u64,
     /// Units that completed.
@@ -175,6 +180,14 @@ pub struct ServingReport {
     /// fills this in from the segment plan after the run).
     #[serde(default)]
     pub segments: Option<SegmentStats>,
+    /// Segment-cache accounting; `None` when no cache was configured, so
+    /// legacy reports render byte-identically.
+    #[serde(default)]
+    pub cache: Option<vtx_cache::CacheStats>,
+    /// Shed counts by ladder rung index (0 = `hi`); empty when the run had
+    /// no per-unit rung table ([`crate::service::ServeConfig::unit_rungs`]).
+    #[serde(default)]
+    pub shed_by_rung: Vec<u64>,
 }
 
 impl ServingReport {
@@ -245,10 +258,36 @@ impl ServingReport {
             f.degraded_jobs,
             f.peak_degrade_level
         ));
-        if let Some(seg) = &self.segments {
+        if let Some(c) = &self.cache {
             out.push_str(&format!(
-                "  segments: parents={}/{} units={}/{}\n",
-                seg.parents_complete, seg.parents, seg.units_complete, seg.units
+                "  cache: hits={} misses={} hit_milli={} evictions={} inserted={} rejected={} occupancy={}/{} entries={}\n",
+                c.hits,
+                c.misses,
+                c.hit_milli(),
+                c.evictions,
+                c.inserted,
+                c.rejected,
+                c.occupancy_bytes,
+                c.capacity_bytes,
+                c.entries
+            ));
+        }
+        if !self.shed_by_rung.is_empty() {
+            out.push_str("  shed_by_rung:");
+            for (i, n) in self.shed_by_rung.iter().enumerate() {
+                out.push_str(&format!(" r{i}={n}"));
+            }
+            out.push('\n');
+        }
+        if let Some(seg) = &self.segments {
+            let degraded = if seg.parents_degraded > 0 {
+                format!(" degraded={}", seg.parents_degraded)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  segments: parents={}/{} units={}/{}{}\n",
+                seg.parents_complete, seg.parents, seg.units_complete, seg.units, degraded
             ));
             for (name, units, done) in &seg.per_rung {
                 out.push_str(&format!(
@@ -408,7 +447,26 @@ mod tests {
                 utilization: 0.75,
             }],
             segments: None,
+            cache: None,
+            shed_by_rung: Vec::new(),
         }
+    }
+
+    #[test]
+    fn cache_and_rung_lines_render_only_when_present() {
+        let base = dummy_report().render();
+        assert!(!base.contains("cache:"));
+        assert!(!base.contains("shed_by_rung"));
+        let mut r = dummy_report();
+        r.cache = Some(vtx_cache::CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        });
+        r.shed_by_rung = vec![2, 0, 1];
+        let text = r.render();
+        assert!(text.contains("cache: hits=3 misses=1 hit_milli=750"));
+        assert!(text.contains("shed_by_rung: r0=2 r1=0 r2=1"));
     }
 
     #[test]

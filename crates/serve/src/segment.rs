@@ -50,6 +50,18 @@ pub struct SegmentOptions {
     /// Use thumbnail geometry (64×48×6 frames), matching the real
     /// executor's smoke mode. Production-shaped plans set this to `false`.
     pub tiny: bool,
+    /// Rung indices live (interactive) parents fan across — a trimmed
+    /// per-class ladder, since a live edge serves fewer renditions than a
+    /// VOD packaging job. Empty (the default) fans every parent across
+    /// the full ladder; out-of-range indices are ignored.
+    pub live_rungs: Vec<usize>,
+    /// Stagger unit deadlines by rung so low rungs ship first: with `n`
+    /// rungs, the unit for rung position `i` (0 = `hi`) gets
+    /// `budget × (n − i) / n` of the parent's deadline budget. The lowest
+    /// rung then has the earliest deadline, so EDF admission drains it
+    /// first and a degraded manifest has something to serve. `false` (the
+    /// default) keeps every unit on the parent's deadline.
+    pub rung_deadlines: bool,
 }
 
 impl Default for SegmentOptions {
@@ -58,6 +70,8 @@ impl Default for SegmentOptions {
             target_ms: 2_000,
             ladder: Ladder::standard(),
             tiny: true,
+            live_rungs: Vec::new(),
+            rung_deadlines: false,
         }
     }
 }
@@ -77,6 +91,9 @@ pub struct ParentInfo {
     pub fps: u32,
     /// Segment start frames (`[0, g, 2g, …]`).
     pub points: Vec<u32>,
+    /// Ladder rung indices this parent fans across (trimmed for live
+    /// parents when [`SegmentOptions::live_rungs`] is set).
+    pub rungs: Vec<usize>,
 }
 
 /// Where one dispatch unit sits in the (parent, segment, rung) grid.
@@ -136,6 +153,18 @@ impl SegmentPlan {
         if opts.ladder.rungs.is_empty() {
             return Err(ServeError::EmptyWorkload);
         }
+        let all_rungs: Vec<usize> = (0..opts.ladder.rungs.len()).collect();
+        let mut live_rungs: Vec<usize> = opts
+            .live_rungs
+            .iter()
+            .copied()
+            .filter(|&ri| ri < opts.ladder.rungs.len())
+            .collect();
+        live_rungs.sort_unstable();
+        live_rungs.dedup();
+        if live_rungs.is_empty() {
+            live_rungs = all_rungs.clone();
+        }
         let mut infos = Vec::with_capacity(parents.len());
         let mut meta = Vec::new();
         let mut units = Vec::new();
@@ -143,15 +172,28 @@ impl SegmentPlan {
             let spec = plan_spec(&p.task.video, opts.tiny)?;
             let frames = spec.sim_frames;
             let points = segment_points(frames, spec.fps, opts.target_ms);
+            let rungs = if p.priority == crate::workload::Priority::Interactive {
+                live_rungs.clone()
+            } else {
+                all_rungs.clone()
+            };
             for (si, &start) in points.iter().enumerate() {
                 let end = points.get(si + 1).copied().unwrap_or(frames);
-                for (ri, rung) in opts.ladder.rungs.iter().enumerate() {
+                for (pos, &ri) in rungs.iter().enumerate() {
+                    let rung = &opts.ladder.rungs[ri];
+                    let deadline_us = if opts.rung_deadlines {
+                        let budget = p.deadline_us.saturating_sub(p.arrival_us);
+                        let n = rungs.len() as u64;
+                        p.arrival_us + budget * (n - pos as u64) / n
+                    } else {
+                        p.deadline_us
+                    };
                     units.push(JobSpec {
                         id: units.len() as u64,
                         arrival_us: p.arrival_us,
                         task: TranscodeTask::new(&p.task.video, rung.crf, p.task.refs, rung.preset),
                         priority: p.priority,
-                        deadline_us: p.deadline_us,
+                        deadline_us,
                         timeout_us: p.timeout_us,
                     });
                     meta.push(UnitMeta {
@@ -172,6 +214,7 @@ impl SegmentPlan {
                 frames,
                 fps: spec.fps,
                 points,
+                rungs,
             });
         }
         Ok(SegmentPlan {
@@ -193,6 +236,39 @@ impl SegmentPlan {
             .collect()
     }
 
+    /// Per-unit ladder rung index (0 = `hi`) for
+    /// [`crate::service::ServeConfig::unit_rungs`], indexed by unit id.
+    pub fn unit_rungs(&self) -> Vec<u8> {
+        self.meta.iter().map(|m| m.rung as u8).collect()
+    }
+
+    /// Per-unit segment index for
+    /// [`crate::service::ServeConfig::unit_segs`], indexed by unit id.
+    pub fn unit_segs(&self) -> Vec<u32> {
+        self.meta.iter().map(|m| m.seg as u32).collect()
+    }
+
+    /// Per-unit encoded-artifact size estimate in bytes, for cache
+    /// occupancy accounting: raw YUV420 bytes of the segment divided by a
+    /// CRF-driven compression factor. Deterministic in the plan alone, so
+    /// both drivers account occupancy identically.
+    pub fn unit_bytes(&self) -> Result<Vec<u64>, ServeError> {
+        let mut geometry = Vec::with_capacity(self.parents.len());
+        for p in &self.parents {
+            let spec = plan_spec(&p.video, self.tiny)?;
+            geometry.push(u64::from(spec.sim_width) * u64::from(spec.sim_height));
+        }
+        Ok(self
+            .meta
+            .iter()
+            .map(|m| {
+                let crf = u64::from(self.ladder.rungs[m.rung].crf);
+                let raw = u64::from(m.frames) * geometry[m.parent] * 3 / 2;
+                (raw / (crf + 4)).max(1)
+            })
+            .collect())
+    }
+
     /// Unit ids that completed, read from the event log alone.
     pub fn completed_units(&self, log: &[EventRecord]) -> BTreeSet<u64> {
         log.iter()
@@ -210,7 +286,7 @@ impl SegmentPlan {
         let mut left: Vec<u64> = self
             .parents
             .iter()
-            .map(|p| p.points.len() as u64 * self.ladder.rungs.len() as u64)
+            .map(|p| p.points.len() as u64 * p.rungs.len() as u64)
             .collect();
         for &id in &done {
             left[self.meta[id as usize].parent] -= 1;
@@ -245,13 +321,60 @@ impl SegmentPlan {
                 per_segment[m.seg].1 += 1;
             }
         }
+        let complete = self.rungs_complete(&done);
+        let degraded = self
+            .parents
+            .iter()
+            .zip(&complete)
+            .filter(|(p, c)| !c.is_empty() && c.len() < p.rungs.len())
+            .count() as u64;
         SegmentStats {
             parents: self.parents.len() as u64,
             parents_complete: self.complete_parents(log).len() as u64,
+            parents_degraded: degraded,
             units: self.meta.len() as u64,
             units_complete: done.len() as u64,
             per_rung,
             per_segment,
+        }
+    }
+
+    /// Per-parent list of rung indices whose every segment unit completed.
+    fn rungs_complete(&self, done: &BTreeSet<u64>) -> Vec<Vec<usize>> {
+        let mut left: Vec<BTreeMap<usize, u64>> = self
+            .parents
+            .iter()
+            .map(|p| {
+                p.rungs
+                    .iter()
+                    .map(|&ri| (ri, p.points.len() as u64))
+                    .collect()
+            })
+            .collect();
+        for &id in done {
+            let m = &self.meta[id as usize];
+            if let Some(l) = left[m.parent].get_mut(&m.rung) {
+                *l -= 1;
+            }
+        }
+        left.into_iter()
+            .map(|map| {
+                map.into_iter()
+                    .filter(|&(_, l)| l == 0)
+                    .map(|(ri, _)| ri)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Builds a ladder restricted to `rungs` (indices into the plan's
+    /// ladder, ascending).
+    fn sub_ladder(&self, rungs: &[usize]) -> Ladder {
+        Ladder {
+            rungs: rungs
+                .iter()
+                .map(|&ri| self.ladder.rungs[ri].clone())
+                .collect(),
         }
     }
 
@@ -265,9 +388,10 @@ impl SegmentPlan {
             let p = &self.parents[pi];
             out.push((
                 format!("job{}/master.m3u8", p.id),
-                manifest::render_master(&master_playlist(&self.ladder)),
+                manifest::render_master(&master_playlist(&self.sub_ladder(&p.rungs))),
             ));
-            for rung in &self.ladder.rungs {
+            for &ri in &p.rungs {
+                let rung = &self.ladder.rungs[ri];
                 out.push((
                     format!("job{}/{}/media.m3u8", p.id, rung.name),
                     manifest::render_media(&media_playlist(&rung.name, &p.points, p.frames, p.fps)),
@@ -277,12 +401,47 @@ impl SegmentPlan {
         out
     }
 
-    /// Encodes and muxes the actual segments for every complete parent:
-    /// `(path, bytes)` pairs under `job{id}/{rung}/` (init.mp4 plus one
-    /// .m4s per segment). Each (video, refs, rung) is encoded once with
-    /// forced IDRs at the cut points and packaged via `vtx-container`;
-    /// everything is a pure function of (seed, plan), so the simulated and
-    /// real drivers produce byte-identical artifacts.
+    /// Partial-manifest delivery: every parent with at least one fully
+    /// completed rung gets a manifest. Fully complete parents get the
+    /// normal master; partially complete parents get a master restricted
+    /// to the rungs that finished, marked with the degraded tag
+    /// ([`vtx_container::manifest::DEGRADED_TAG`]) — the ladder-aware
+    /// shedding payoff: an overloaded fleet that dropped the `hi` rung
+    /// still ships a playable (if degraded) rendition set.
+    pub fn manifests_partial(&self, log: &[EventRecord]) -> Vec<(String, String)> {
+        let done = self.completed_units(log);
+        let complete = self.rungs_complete(&done);
+        let mut out = Vec::new();
+        for (p, rungs) in self.parents.iter().zip(&complete) {
+            if rungs.is_empty() {
+                continue;
+            }
+            let master = master_playlist(&self.sub_ladder(rungs));
+            let body = if rungs.len() == p.rungs.len() {
+                manifest::render_master(&master)
+            } else {
+                manifest::render_master_degraded(&master)
+            };
+            out.push((format!("job{}/master.m3u8", p.id), body));
+            for &ri in rungs {
+                let rung = &self.ladder.rungs[ri];
+                out.push((
+                    format!("job{}/{}/media.m3u8", p.id, rung.name),
+                    manifest::render_media(&media_playlist(&rung.name, &p.points, p.frames, p.fps)),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Encodes and muxes the actual segments for every parent rung whose
+    /// units all completed: `(path, bytes)` pairs under `job{id}/{rung}/`
+    /// (init.mp4 plus one .m4s per segment). Fully complete parents get
+    /// every rung (as before); partially complete parents get exactly the
+    /// rungs their degraded manifest references. Each (video, refs, rung)
+    /// is encoded once with forced IDRs at the cut points and packaged via
+    /// `vtx-container`; everything is a pure function of (seed, plan), so
+    /// the simulated and real drivers produce byte-identical artifacts.
     ///
     /// # Errors
     ///
@@ -293,16 +452,21 @@ impl SegmentPlan {
         log: &[EventRecord],
     ) -> Result<Vec<(String, Vec<u8>)>, ServeError> {
         let kernels = instr::kernel_table();
+        let done = self.completed_units(log);
+        let complete = self.rungs_complete(&done);
         let mut videos: BTreeMap<&str, vtx_frame::Video> = BTreeMap::new();
         let mut cache: BTreeMap<(String, u8, usize), vtx_container::Packaged> = BTreeMap::new();
         let mut out = Vec::new();
-        for pi in self.complete_parents(log) {
-            let p = &self.parents[pi];
+        for (p, rungs) in self.parents.iter().zip(&complete) {
+            if rungs.is_empty() {
+                continue;
+            }
             if !videos.contains_key(p.video.as_str()) {
                 let spec = plan_spec(&p.video, self.tiny)?;
                 videos.insert(&p.video, synth::generate(&spec, seed));
             }
-            for (ri, rung) in self.ladder.rungs.iter().enumerate() {
+            for &ri in rungs {
+                let rung = &self.ladder.rungs[ri];
                 let key = (p.video.clone(), p.refs, ri);
                 if !cache.contains_key(&key) {
                     let cfg = rung
@@ -379,8 +543,7 @@ mod tests {
         // 6 frames at ~100 ms targets → 2–3 segments per clip.
         let opts = SegmentOptions {
             target_ms: 100,
-            ladder: Ladder::standard(),
-            tiny: true,
+            ..SegmentOptions::default()
         };
         SegmentPlan::expand(&[parent(0, "desktop"), parent(1, "cat")], &opts).unwrap()
     }
@@ -448,6 +611,161 @@ mod tests {
         assert!(m.iter().all(|(p, _)| p.starts_with("job0/")));
         assert_eq!(m.len(), 1 + plan.ladder.rungs.len());
         assert!(m[0].0.ends_with("master.m3u8"));
+    }
+
+    #[test]
+    fn live_rungs_trim_interactive_parents() {
+        let mut live = parent(0, "desktop");
+        live.priority = Priority::Interactive;
+        let vod = parent(1, "desktop");
+        let opts = SegmentOptions {
+            target_ms: 100,
+            live_rungs: vec![1, 2, 99], // out-of-range index ignored
+            ..SegmentOptions::default()
+        };
+        let plan = SegmentPlan::expand(&[live, vod], &opts).unwrap();
+        assert_eq!(plan.parents[0].rungs, vec![1, 2]);
+        assert_eq!(plan.parents[1].rungs, vec![0, 1, 2]);
+        // The live parent's units never reference the trimmed rung 0.
+        for (u, m) in plan.units.iter().zip(&plan.meta) {
+            if m.parent == 0 {
+                assert!(m.rung >= 1, "live unit on trimmed rung");
+                assert_eq!(u.task.crf, plan.ladder.rungs[m.rung].crf);
+            }
+        }
+        // A clean run completes everything: manifests list only the
+        // trimmed ladder for the live parent and nothing is degraded.
+        let log: Vec<EventRecord> = plan
+            .units
+            .iter()
+            .map(|u| EventRecord::Complete {
+                t: 1,
+                id: u.id,
+                server: 0,
+                sojourn_us: 1,
+                violation: false,
+            })
+            .collect();
+        let s = plan.stats(&log);
+        assert_eq!(s.parents_complete, 2);
+        assert_eq!(s.parents_degraded, 0);
+        let masters: Vec<String> = plan
+            .manifests(&log)
+            .into_iter()
+            .filter(|(p, _)| p.ends_with("master.m3u8"))
+            .map(|(_, b)| b)
+            .collect();
+        assert!(!masters[0].contains("NAME=\"hi\""), "live master trimmed");
+        assert!(masters[1].contains("NAME=\"hi\""), "vod master full");
+    }
+
+    #[test]
+    fn rung_deadlines_ship_low_rungs_first() {
+        let opts = SegmentOptions {
+            target_ms: 100,
+            rung_deadlines: true,
+            ..SegmentOptions::default()
+        };
+        let plan = SegmentPlan::expand(&[parent(3, "cat")], &opts).unwrap();
+        for (u, m) in plan.units.iter().zip(&plan.meta) {
+            let p = &plan.parents[m.parent];
+            let budget = 5_000_000u64;
+            let n = p.rungs.len() as u64;
+            let expect = u.arrival_us + budget * (n - m.rung as u64) / n;
+            assert_eq!(u.deadline_us, expect);
+        }
+        // Within a segment, the lowest rung has the earliest deadline.
+        let seg0: Vec<&JobSpec> = plan
+            .units
+            .iter()
+            .zip(&plan.meta)
+            .filter(|(_, m)| m.seg == 0)
+            .map(|(u, _)| u)
+            .collect();
+        assert!(seg0[0].deadline_us > seg0[2].deadline_us, "hi after lo");
+    }
+
+    #[test]
+    fn partial_manifests_mark_degraded_rungs() {
+        let plan = tiny_plan();
+        // Complete everything except parent 1's rung 0 (hi) units.
+        let log: Vec<EventRecord> = plan
+            .units
+            .iter()
+            .zip(&plan.meta)
+            .filter(|(_, m)| !(m.parent == 1 && m.rung == 0))
+            .map(|(u, _)| EventRecord::Complete {
+                t: 1,
+                id: u.id,
+                server: 0,
+                sojourn_us: 1,
+                violation: false,
+            })
+            .collect();
+        let s = plan.stats(&log);
+        assert_eq!(s.parents_complete, 1);
+        assert_eq!(s.parents_degraded, 1);
+        // Strict manifests: only the complete parent.
+        assert!(plan
+            .manifests(&log)
+            .iter()
+            .all(|(p, _)| p.starts_with("job0/")));
+        // Partial manifests: both parents; job1's master is degraded and
+        // omits the missing hi rung but still parses.
+        let partial = plan.manifests_partial(&log);
+        let job1_master = partial
+            .iter()
+            .find(|(p, _)| p == "job1/master.m3u8")
+            .map(|(_, b)| b)
+            .unwrap();
+        assert!(job1_master.contains(vtx_container::manifest::DEGRADED_TAG));
+        assert!(!job1_master.contains("NAME=\"hi\""));
+        let (m, degraded) = vtx_container::manifest::parse_master_flagged(job1_master).unwrap();
+        assert!(degraded);
+        assert_eq!(m.variants.len(), plan.ladder.rungs.len() - 1);
+        let job0_master = partial
+            .iter()
+            .find(|(p, _)| p == "job0/master.m3u8")
+            .map(|(_, b)| b)
+            .unwrap();
+        assert!(!job0_master.contains(vtx_container::manifest::DEGRADED_TAG));
+        // No media playlist for the shed rung.
+        assert!(!partial.iter().any(|(p, _)| p == "job1/hi/media.m3u8"));
+        assert!(partial.iter().any(|(p, _)| p == "job1/mid/media.m3u8"));
+        // Materialize covers exactly the manifested rungs.
+        let arts = plan.materialize(42, &log).unwrap();
+        assert!(!arts.iter().any(|(p, _)| p.starts_with("job1/hi/")));
+        assert!(arts.iter().any(|(p, _)| p.starts_with("job1/mid/")));
+        assert!(arts.iter().any(|(p, _)| p.starts_with("job0/hi/")));
+    }
+
+    #[test]
+    fn unit_tables_line_up() {
+        let plan = tiny_plan();
+        let rungs = plan.unit_rungs();
+        let segs = plan.unit_segs();
+        let bytes = plan.unit_bytes().unwrap();
+        assert_eq!(rungs.len(), plan.units.len());
+        assert_eq!(segs.len(), plan.units.len());
+        assert_eq!(bytes.len(), plan.units.len());
+        for (i, m) in plan.meta.iter().enumerate() {
+            assert_eq!(rungs[i] as usize, m.rung);
+            assert_eq!(segs[i] as usize, m.seg);
+            assert!(bytes[i] >= 1);
+        }
+        // Higher-quality rungs (lower CRF) estimate bigger artifacts for
+        // the same segment geometry.
+        let hi = plan
+            .meta
+            .iter()
+            .position(|m| m.parent == 0 && m.seg == 0 && m.rung == 0)
+            .unwrap();
+        let lo = plan
+            .meta
+            .iter()
+            .position(|m| m.parent == 0 && m.seg == 0 && m.rung == 2)
+            .unwrap();
+        assert!(bytes[hi] > bytes[lo]);
     }
 
     #[test]
@@ -521,8 +839,7 @@ mod tests {
             .collect();
         let opts = SegmentOptions {
             target_ms: 100,
-            ladder: Ladder::standard(),
-            tiny: true,
+            ..SegmentOptions::default()
         };
         let plan = SegmentPlan::expand(&parents, &opts).unwrap();
         let horizon = plan.units.iter().map(|u| u.arrival_us).max().unwrap();

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use vtx_cache::{CacheKey, CacheSpec, SegmentCache};
 use vtx_chaos::degrade::{downgrade, DegradeLadder};
 use vtx_chaos::{Cause, FaultKind, Health};
 use vtx_obs::{AlertTransition, ObsConfig, ObsPlane};
@@ -55,6 +56,26 @@ pub struct ServeConfig {
     /// whole-clip jobs; service times are untouched.
     #[serde(default)]
     pub unit_frames: Vec<(u32, u32)>,
+    /// Popularity-aware segment cache (`None` = caching disabled; the
+    /// legacy path is byte-identical). When set, both drivers consult the
+    /// cache at dispatch time: a hit skips the transcode entirely and
+    /// bills only the cache's lookup cost.
+    #[serde(default)]
+    pub cache: Option<CacheSpec>,
+    /// Per-unit ladder rung indexed by dense job id (0 = highest rung).
+    /// Feeds rung-ordered displacement ([`AdmissionQueue::set_rung_table`])
+    /// and per-rung shed accounting. Empty = whole-clip jobs.
+    #[serde(default)]
+    pub unit_rungs: Vec<u8>,
+    /// Per-unit segment index within the parent clip, indexed by dense job
+    /// id. Empty = whole-clip jobs (cache keys use segment 0).
+    #[serde(default)]
+    pub unit_segs: Vec<u32>,
+    /// Per-unit muxed artifact size in bytes, indexed by dense job id.
+    /// Sizes cache insertions; empty falls back to a bitrate-model
+    /// estimate from the job's knobs.
+    #[serde(default)]
+    pub unit_bytes: Vec<u64>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +89,10 @@ impl Default for ServeConfig {
             obs: ObsConfig::default(),
             cells: 0,
             unit_frames: Vec::new(),
+            cache: None,
+            unit_rungs: Vec::new(),
+            unit_segs: Vec::new(),
+            unit_bytes: Vec::new(),
         }
     }
 }
@@ -195,6 +220,17 @@ pub enum EventRecord {
         /// Why the step was taken.
         cause: Cause,
     },
+    /// A dispatch was satisfied from the segment cache (no transcode ran;
+    /// only emitted when a [`CacheSpec`] is configured, so legacy logs are
+    /// byte-identical).
+    CacheHit {
+        /// Timestamp (µs).
+        t: u64,
+        /// Job id.
+        id: u64,
+        /// Server that fronted the lookup.
+        server: usize,
+    },
     /// An SLO burn-rate alert changed state (see `vtx_obs::slo`).
     Alert {
         /// Timestamp (µs).
@@ -226,6 +262,7 @@ impl EventRecord {
             | EventRecord::Requeue { t, .. }
             | EventRecord::Hedge { t, .. }
             | EventRecord::Degrade { t, .. }
+            | EventRecord::CacheHit { t, .. }
             | EventRecord::Alert { t, .. } => t,
         }
     }
@@ -281,6 +318,9 @@ impl EventRecord {
             }
             EventRecord::Degrade { t, level, cause } => {
                 format!("{t:>12} degrade  level={level} cause={}", cause.name())
+            }
+            EventRecord::CacheHit { t, id, server } => {
+                format!("{t:>12} cachehit job={id} server={server}")
             }
             EventRecord::Alert {
                 t,
@@ -341,6 +381,11 @@ pub struct ServiceCore {
     lost_spans: Vec<u64>,
     /// Observability plane fed by every entry point (see `vtx-obs`).
     obs: ObsPlane,
+    /// Popularity-aware segment cache (`None` = disabled).
+    cache: Option<SegmentCache>,
+    /// Shed counts by ladder rung (index = rung, 0 = highest). Empty when
+    /// no rung table is configured, so legacy reports are unchanged.
+    shed_by_rung: Vec<u64>,
 }
 
 impl ServiceCore {
@@ -356,9 +401,17 @@ impl ServiceCore {
         // The sum must be taken in fleet order every time it is recomputed
         // so the f64 value is bit-stable across paths.
         let up_capacity: f64 = fleet.servers().iter().map(|s| s.speed).sum();
-        let queue = AdmissionQueue::new(cfg.queue.clone());
+        let mut queue = AdmissionQueue::new(cfg.queue.clone());
+        if !cfg.unit_rungs.is_empty() {
+            queue.set_rung_table(cfg.unit_rungs.clone());
+        }
         let ladder = DegradeLadder::new(cfg.chaos.degrade);
         let obs = ObsPlane::new(cfg.obs.clone(), Priority::ALL.len());
+        let cache = cfg.cache.clone().map(SegmentCache::new);
+        let shed_by_rung = match cfg.unit_rungs.iter().max() {
+            Some(&top) => vec![0; usize::from(top) + 1],
+            None => Vec::new(),
+        };
         ServiceCore {
             cfg,
             fleet,
@@ -388,6 +441,8 @@ impl ServiceCore {
             hedges_wasted: 0,
             lost_spans: Vec::new(),
             obs,
+            cache,
+            shed_by_rung,
         }
     }
 
@@ -432,6 +487,85 @@ impl ServiceCore {
             }
             _ => t,
         }
+    }
+
+    /// Whether a segment cache is configured.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Cache key for a dispatch unit: the knobs that determine the encoded
+    /// bytes, plus the unit's rung and segment from the config tables
+    /// (whole-clip jobs key as rung 0, segment 0).
+    fn cache_key(&self, spec: &JobSpec) -> CacheKey {
+        let id = spec.id as usize;
+        CacheKey {
+            video: spec.task.video.clone(),
+            preset: spec.task.preset.name().to_owned(),
+            crf: spec.task.crf,
+            refs: u32::from(spec.task.refs),
+            rung: self.cfg.unit_rungs.get(id).copied().map_or(0, u32::from),
+            seg: self.cfg.unit_segs.get(id).copied().unwrap_or(0),
+        }
+    }
+
+    /// Consults the segment cache for a just-dispatched job. On a hit the
+    /// transcode is skipped entirely: the driver bills only the returned
+    /// lookup cost as service time. Returns `None` on a miss or with the
+    /// cache disabled (misses are counted; disabled is free).
+    pub fn cache_lookup(&mut self, job: &PendingJob, server: usize, now_us: u64) -> Option<u64> {
+        self.cache.as_ref()?;
+        let key = self.cache_key(&job.spec);
+        let cache = self.cache.as_mut().expect("checked above");
+        if cache.lookup(&key) {
+            let lookup_us = cache.lookup_us();
+            metrics::counter("serve/cache_hits").add(1);
+            self.record(EventRecord::CacheHit {
+                t: now_us,
+                id: job.spec.id,
+                server,
+            });
+            Some(lookup_us)
+        } else {
+            metrics::counter("serve/cache_misses").add(1);
+            None
+        }
+    }
+
+    /// Populates the cache after a job completed off the transcode path
+    /// (never after a cache hit). `bytes_override` carries real encoder
+    /// output when the driver has it; otherwise the unit-bytes table or a
+    /// knob-based estimate sizes the entry. The entry's recompute cost is
+    /// the port-refined prediction scaled to the unit's share of the clip,
+    /// which is what the GDSF policy protects.
+    pub fn cache_insert(
+        &mut self,
+        job: &PendingJob,
+        server_idx: usize,
+        bytes_override: Option<u64>,
+    ) {
+        if self.cache.is_none() {
+            return;
+        }
+        let key = self.cache_key(&job.spec);
+        let id = job.spec.id as usize;
+        let bytes = bytes_override
+            .or_else(|| self.cfg.unit_bytes.get(id).copied())
+            .unwrap_or_else(|| 1_048_576 / (u64::from(job.spec.task.crf) + 4));
+        let server = &self.fleet.servers()[server_idx];
+        let full_cost = self.model.port_predicted_us(&job.spec, server);
+        let cost_us = match self.cfg.unit_frames.get(id) {
+            Some(&(frames, total)) if total > 0 => {
+                let scaled = u128::from(full_cost) * u128::from(frames) / u128::from(total);
+                (scaled as u64).max(1)
+            }
+            _ => full_cost,
+        };
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.insert(key, bytes, cost_us);
+        let stats = cache.stats();
+        metrics::gauge("serve/cache_occupancy_bytes").set(stats.occupancy_bytes as f64);
+        metrics::gauge("serve/cache_entries").set(stats.entries as f64);
     }
 
     /// The policy's report name.
@@ -593,6 +727,16 @@ impl ServiceCore {
     fn shed_job(&mut self, job: &PendingJob, reason: ShedReason, now_us: u64) {
         self.shed[reason as usize] += 1;
         metrics::counter("serve/shed").add(1);
+        if !self.shed_by_rung.is_empty() {
+            let rung = self
+                .cfg
+                .unit_rungs
+                .get(job.spec.id as usize)
+                .copied()
+                .unwrap_or(0);
+            let slot = usize::from(rung).min(self.shed_by_rung.len() - 1);
+            self.shed_by_rung[slot] += 1;
+        }
         let alert = self.obs.on_shed(
             now_us,
             job.spec.id,
@@ -959,6 +1103,8 @@ impl ServiceCore {
             ],
             servers,
             segments: None,
+            cache: self.cache.as_ref().map(|c| c.stats()),
+            shed_by_rung: self.shed_by_rung,
         };
         (report, self.log, self.obs)
     }

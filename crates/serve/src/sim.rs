@@ -90,6 +90,9 @@ struct Running {
     instance: u64,
     is_hedge: bool,
     timed_out: bool,
+    /// Satisfied from the segment cache: the server only fronts the
+    /// lookup, and completion must not re-insert the artifact.
+    cached: bool,
 }
 
 /// Runs a workload through a fleet under a policy, fully simulated.
@@ -300,6 +303,11 @@ pub fn simulate_trace(
                         if r.is_hedge {
                             core.note_hedge_won();
                         }
+                        // A real transcode populates the cache; a hit never
+                        // re-inserts what it just read.
+                        if !r.cached {
+                            core.cache_insert(&r.job, server, None);
+                        }
                     }
                 }
             }
@@ -339,6 +347,7 @@ pub fn simulate_trace(
                                 now,
                                 instance,
                                 true,
+                                None,
                             );
                         }
                     }
@@ -357,9 +366,15 @@ pub fn simulate_trace(
         for (job, server) in started {
             let id = job.spec.id;
             *copies.entry(id).or_insert(0) += 1;
+            // A cache hit skips the transcode: the server is occupied only
+            // for the lookup cost, and hedging it would be pointless.
+            let cached_us = core.cache_lookup(&job, server, now);
             // Arm the hedge trigger on the first dispatch of an
             // interactive job.
-            if job.spec.priority == Priority::Interactive && job.attempts == 1 {
+            if cached_us.is_none()
+                && job.spec.priority == Priority::Interactive
+                && job.attempts == 1
+            {
                 if let Some(due) =
                     hedge_due_us(job.spec.arrival_us, job.spec.deadline_us, hedge_after)
                 {
@@ -383,6 +398,7 @@ pub fn simulate_trace(
                 now,
                 instance,
                 false,
+                cached_us,
             );
         }
     }
@@ -414,7 +430,8 @@ fn forget_copy(running_ids: &mut BTreeMap<u64, Vec<usize>>, id: u64, server: usi
 }
 
 /// Starts one copy of a job on a server: on a live server the finish time
-/// is the fault-inflated service time (capped at the job's timeout); on a
+/// is the fault-inflated service time (capped at the job's timeout), or
+/// just the cache lookup cost when `cached_us` is set; on a
 /// crashed-but-undetected server the copy is simply stuck — no finish is
 /// scheduled and the down verdict will requeue it.
 #[allow(clippy::too_many_arguments)]
@@ -432,6 +449,7 @@ fn start_copy(
     now: u64,
     instance: u64,
     is_hedge: bool,
+    cached_us: Option<u64>,
 ) {
     idle.set_busy(server);
     running_ids.entry(job.spec.id).or_default().push(server);
@@ -442,17 +460,25 @@ fn start_copy(
             instance,
             is_hedge,
             timed_out: false,
+            cached: cached_us.is_some(),
         });
         return;
     }
-    let true_us = core.true_service_us(&job.spec, server, core.fleet().server(server));
-    let wall = plan.inflate(server, now, true_us);
     // A run longer than the job's timeout is killed at the timeout mark;
-    // the server is occupied (and billed) until then.
-    let (dur, timed_out) = if wall > job.spec.timeout_us {
-        (job.spec.timeout_us, true)
-    } else {
-        (wall, false)
+    // the server is occupied (and billed) until then. A cache hit skips
+    // the transcode and fault inflation entirely — only the lookup cost
+    // occupies the server.
+    let (dur, timed_out) = match cached_us {
+        Some(lookup) => (lookup.min(job.spec.timeout_us), false),
+        None => {
+            let true_us = core.true_service_us(&job.spec, server, core.fleet().server(server));
+            let wall = plan.inflate(server, now, true_us);
+            if wall > job.spec.timeout_us {
+                (job.spec.timeout_us, true)
+            } else {
+                (wall, false)
+            }
+        }
     };
     running[server] = Some(Running {
         job,
@@ -460,6 +486,7 @@ fn start_copy(
         instance,
         is_hedge,
         timed_out,
+        cached: cached_us.is_some(),
     });
     events.push(
         now.saturating_add(dur),
@@ -647,6 +674,86 @@ mod tests {
             );
             assert_eq!(a.report.render(), b.report.render(), "{policy}");
         }
+    }
+
+    fn cached_run(seed: u64, policy_name: &str, evict: vtx_cache::EvictPolicy) -> SimOutcome {
+        // Popularity-skewed arrivals with pinned knobs so hot (video,
+        // knob) keys genuinely repeat; a generous byte budget makes the
+        // repeats hit.
+        let w = WorkloadSpec::smoke(seed).with_popularity(1.0, 0.3);
+        let cfg = ServeConfig {
+            cache: Some(vtx_cache::CacheSpec {
+                capacity_bytes: 64 << 20,
+                policy: evict,
+                lookup_us: 250,
+            }),
+            ..ServeConfig::default()
+        };
+        simulate(
+            &w,
+            Fleet::table_iv(),
+            policy_by_name(policy_name, seed).unwrap(),
+            cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cache_hits_skip_work_and_conserve_jobs() {
+        let out = cached_run(42, "smart", vtx_cache::EvictPolicy::Lru);
+        let r = &out.report;
+        let stats = r.cache.as_ref().expect("cache stats exported");
+        assert!(stats.hits > 0, "a Zipf(1.0) trace must repeat hot keys");
+        assert!(
+            stats.hit_milli() >= 100,
+            "hot-key repeats should land at least 10% hits, got {}",
+            stats.hit_milli()
+        );
+        assert_eq!(
+            r.completed + r.shed_total(),
+            r.offered,
+            "cache hits still reach exactly one terminal state"
+        );
+        assert!(out
+            .event_log
+            .iter()
+            .any(|e| matches!(e, EventRecord::CacheHit { .. })));
+    }
+
+    #[test]
+    fn cached_runs_are_byte_identical() {
+        for evict in vtx_cache::EvictPolicy::ALL {
+            let a = cached_run(42, "smart", evict);
+            let b = cached_run(42, "smart", evict);
+            assert_eq!(a.assignments, b.assignments, "{}", evict.name());
+            assert_eq!(a.report, b.report, "{}", evict.name());
+            assert_eq!(
+                render_event_log(&a.event_log),
+                render_event_log(&b.event_log),
+                "{}",
+                evict.name()
+            );
+            assert_eq!(a.report.render(), b.report.render(), "{}", evict.name());
+        }
+    }
+
+    #[test]
+    fn cache_beats_uncached_on_repeat_heavy_trace() {
+        let cached = cached_run(42, "smart", vtx_cache::EvictPolicy::Gdsf);
+        let w = WorkloadSpec::smoke(42).with_popularity(1.0, 0.3);
+        let uncached = simulate(
+            &w,
+            Fleet::table_iv(),
+            policy_by_name("smart", 42).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            cached.report.sojourn.mean_us <= uncached.report.sojourn.mean_us,
+            "skipping transcodes must not slow the fleet: cached {} vs uncached {}",
+            cached.report.sojourn.mean_us,
+            uncached.report.sojourn.mean_us
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use vtx_cache::ZipfSampler;
 use vtx_codec::Preset;
 use vtx_sched::TranscodeTask;
 
@@ -77,6 +78,22 @@ pub struct JobSpec {
     pub timeout_us: u64,
 }
 
+/// Popularity model for repeat-heavy catalogs: a Zipf skew over the video
+/// list (rank order = list order, so the first video is the hottest) plus
+/// a live-vs-VOD service-class split. Live requests map to
+/// [`Priority::Interactive`]; VOD requests split between `Standard` and
+/// `Batch` by the spec's remaining `mix` weights. Each class pins its knob
+/// vector (live takes the first preset/CRF/refs choices, VOD the last) so
+/// repeated requests for a hot video share cache keys, the way a
+/// production catalog re-requests the same rendition settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopularitySpec {
+    /// Zipf skew exponent `s` over the video list (0 = uniform).
+    pub zipf_s: f64,
+    /// Fraction of jobs in the live (interactive) class, in `[0, 1]`.
+    pub live_frac: f64,
+}
+
 /// Everything that determines an arrival trace. Two equal specs generate
 /// byte-identical traces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +119,11 @@ pub struct WorkloadSpec {
     pub slo_budget_us: [u64; 3],
     /// Per-class per-attempt timeout in microseconds.
     pub timeout_us: [u64; 3],
+    /// Optional popularity model. `None` (the default) keeps the legacy
+    /// uniform draws byte-for-byte; `Some` switches video selection to
+    /// Zipf and the class draw to the live/VOD split.
+    #[serde(default)]
+    pub popularity: Option<PopularitySpec>,
 }
 
 impl WorkloadSpec {
@@ -135,6 +157,7 @@ impl WorkloadSpec {
             mix: [0.2, 0.55, 0.25],
             slo_budget_us: [2_500_000, 6_000_000, 20_000_000],
             timeout_us: [4_000_000, 10_000_000, 30_000_000],
+            popularity: None,
         }
     }
 
@@ -187,7 +210,15 @@ impl WorkloadSpec {
             mix: [0.3, 0.5, 0.2],
             slo_budget_us: [2_500_000, 6_000_000, 20_000_000],
             timeout_us: [60_000_000, 60_000_000, 60_000_000],
+            popularity: None,
         }
+    }
+
+    /// Switch this spec to popularity-driven generation: Zipf(`zipf_s`)
+    /// video selection with a `live_frac` live/VOD class split.
+    pub fn with_popularity(mut self, zipf_s: f64, live_frac: f64) -> Self {
+        self.popularity = Some(PopularitySpec { zipf_s, live_frac });
+        self
     }
 
     /// Generates the arrival trace this spec describes.
@@ -209,13 +240,55 @@ impl WorkloadSpec {
         let mean_gap_s = 1.0 / self.arrival_rate_hz.max(1e-9);
         let mut t_us = 0u64;
         let mut jobs = Vec::with_capacity(self.jobs);
+        let zipf = self
+            .popularity
+            .as_ref()
+            .map(|p| ZipfSampler::new(self.videos.len(), p.zipf_s));
         for id in 0..self.jobs as u64 {
             t_us += (rng.next_exp(mean_gap_s) * 1e6).round() as u64;
-            let video = &self.videos[rng.next_range(self.videos.len() as u64) as usize];
-            let preset = self.presets[rng.next_range(self.presets.len() as u64) as usize];
-            let crf = self.crf_choices[rng.next_range(self.crf_choices.len() as u64) as usize];
-            let refs = self.refs_choices[rng.next_range(self.refs_choices.len() as u64) as usize];
-            let priority = Priority::ALL[rng.pick_weighted(&self.mix)];
+            let (video, preset, crf, refs, priority) = match (&self.popularity, &zipf) {
+                (Some(pop), Some(zipf)) => {
+                    // Popularity-driven: Zipf video rank, live/VOD class
+                    // split, knobs pinned per class so repeats of a hot
+                    // video share cache keys. Constant draws per job.
+                    let video = &self.videos[zipf.sample(rng.next_f64())];
+                    let u = rng.next_f64();
+                    let priority = if u < pop.live_frac {
+                        Priority::Interactive
+                    } else {
+                        // Rescale the leftover mass over the VOD mix.
+                        let rest = (1.0 - pop.live_frac).max(1e-12);
+                        let v = (u - pop.live_frac) / rest;
+                        let std_w = self.mix[1] / (self.mix[1] + self.mix[2]).max(1e-12);
+                        if v < std_w {
+                            Priority::Standard
+                        } else {
+                            Priority::Batch
+                        }
+                    };
+                    let live = priority == Priority::Interactive;
+                    let pick = |len: usize| if live { 0 } else { len - 1 };
+                    (
+                        video,
+                        self.presets[pick(self.presets.len())],
+                        self.crf_choices[pick(self.crf_choices.len())],
+                        self.refs_choices[pick(self.refs_choices.len())],
+                        priority,
+                    )
+                }
+                _ => {
+                    // Legacy uniform draws — byte-identical to every trace
+                    // generated before the popularity model existed.
+                    let video = &self.videos[rng.next_range(self.videos.len() as u64) as usize];
+                    let preset = self.presets[rng.next_range(self.presets.len() as u64) as usize];
+                    let crf =
+                        self.crf_choices[rng.next_range(self.crf_choices.len() as u64) as usize];
+                    let refs =
+                        self.refs_choices[rng.next_range(self.refs_choices.len() as u64) as usize];
+                    let priority = Priority::ALL[rng.pick_weighted(&self.mix)];
+                    (video, preset, crf, refs, priority)
+                }
+            };
             let k = priority.index();
             jobs.push(JobSpec {
                 id,
@@ -357,6 +430,39 @@ mod tests {
         let jobs = WorkloadSpec::bundled(42).generate().unwrap();
         for p in Priority::ALL {
             assert!(jobs.iter().any(|j| j.priority == p), "{:?} missing", p);
+        }
+    }
+
+    #[test]
+    fn popularity_trace_is_deterministic_and_skewed() {
+        let spec = WorkloadSpec {
+            jobs: 2000,
+            ..WorkloadSpec::bundled(42)
+        }
+        .with_popularity(1.0, 0.3);
+        let a = spec.generate().unwrap();
+        let b = spec.generate().unwrap();
+        assert_eq!(a, b);
+        let count = |video: &str| a.iter().filter(|j| j.task.video == video).count();
+        let hot = count(&spec.videos[0]);
+        let cold = count(spec.videos.last().unwrap());
+        assert!(hot > 4 * cold, "zipf head {hot} vs tail {cold}");
+        let live = a
+            .iter()
+            .filter(|j| j.priority == Priority::Interactive)
+            .count() as f64
+            / a.len() as f64;
+        assert!((live - 0.3).abs() < 0.05, "live fraction {live}");
+        // Knobs are pinned per class: live takes the first choices, VOD
+        // the last, so hot-video repeats share cache keys.
+        for j in &a {
+            if j.priority == Priority::Interactive {
+                assert_eq!(j.task.preset, spec.presets[0]);
+                assert_eq!(j.task.crf, spec.crf_choices[0]);
+            } else {
+                assert_eq!(j.task.preset, *spec.presets.last().unwrap());
+                assert_eq!(j.task.crf, *spec.crf_choices.last().unwrap());
+            }
         }
     }
 

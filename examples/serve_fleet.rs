@@ -30,6 +30,18 @@
 //! HLS playlists plus the actual muxed CMAF init/media segments — byte-
 //! deterministic per seed in both `--real` and simulated modes.
 //!
+//! `--cache-mb N` arms the popularity-aware segment cache: a repeated
+//! (video, knobs, rung, segment) request hits the cache, skips the
+//! transcode and bills only the lookup cost. `--evict {lru,lfu,gdsf}`
+//! selects the eviction policy (default `lru`). `--zipf S` skews the
+//! request trace so a Zipf(S)-popular head of the catalog is requested
+//! repeatedly, and `--live-frac F` routes the given fraction of requests
+//! to the live (interactive) class. Cached runs stay byte-deterministic
+//! per seed in simulated mode — the CI `cache-determinism` job
+//! byte-compares two same-seed cached runs. With `--segments`, manifests
+//! are written via partial delivery: finished rungs are served and
+//! jobs missing rungs are flagged degraded instead of dropped.
+//!
 //! Observability exports: `--metrics-out FILE` writes the run's Prometheus
 //! exposition (per-class completion counters, sojourn quantile summaries,
 //! alert gauges); `--job-trace FILE` writes the per-job lifecycle trace —
@@ -43,10 +55,12 @@
 //!     [--xl [--full]] [--cells N]
 //!     [--policy random|rr|smart|port|all] [--real] [--faults]
 //!     [--segments MS] [--ladder SPEC] [--manifest-out DIR]
+//!     [--cache-mb N] [--evict lru|lfu|gdsf] [--zipf S] [--live-frac F]
 //!     [--trace-out FILE] [--dump-trace FILE]
 //!     [--metrics-out FILE] [--job-trace FILE]
 //! ```
 
+use vtx_cache::{CacheSpec, EvictPolicy};
 use vtx_container::Ladder;
 use vtx_core::trace_export;
 use vtx_obs::ObsPlane;
@@ -118,10 +132,12 @@ fn segment_opts(
     Ok(opts)
 }
 
-/// Dump the run's HLS playlists plus the actual muxed CMAF segments for
-/// every job whose manifest assembled, under `dir` (per-policy subdir when
-/// several policies run). The CI `container-determinism` job `diff -r`s
-/// two same-seed dumps.
+/// Dump the run's HLS playlists plus the actual muxed CMAF segments under
+/// `dir` (per-policy subdir when several policies run). Delivery is
+/// partial: a job with every rung complete gets the full master playlist,
+/// while a job missing rungs gets a degraded-flagged master listing only
+/// its finished rungs. The CI `container-determinism` job `diff -r`s two
+/// same-seed dumps.
 fn write_manifest_artifacts(
     base: &str,
     policy: &str,
@@ -135,7 +151,7 @@ fn write_manifest_artifacts(
     } else {
         std::path::PathBuf::from(base)
     };
-    let manifests = plan.manifests(log);
+    let manifests = plan.manifests_partial(log);
     let artifacts = plan.materialize(seed, log)?;
     let mut files = 0usize;
     for (rel, body) in manifests
@@ -150,9 +166,14 @@ fn write_manifest_artifacts(
         std::fs::write(&path, body)?;
         files += 1;
     }
+    let served = manifests
+        .iter()
+        .filter(|(rel, _)| rel.ends_with("master.m3u8"))
+        .count();
+    let complete = plan.complete_parents(log).len();
     println!(
-        "wrote {files} playlist/segment files ({} complete jobs) to {}",
-        plan.complete_parents(log).len(),
+        "wrote {files} playlist/segment files ({complete} complete jobs, {} degraded) to {}",
+        served - complete,
         dir.display()
     );
     Ok(())
@@ -174,6 +195,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut dump_trace: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut job_trace: Option<String> = None;
+    let mut cache_mb = 0u64;
+    let mut evict = "lru".to_owned();
+    let mut zipf: Option<f64> = None;
+    let mut live_frac: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -217,6 +242,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--job-trace" => {
                 job_trace = Some(args.next().ok_or("--job-trace needs a file path")?);
             }
+            "--cache-mb" => {
+                cache_mb = args
+                    .next()
+                    .ok_or("--cache-mb needs a capacity in MiB")?
+                    .parse::<u64>()?;
+            }
+            "--evict" => {
+                evict = args.next().ok_or("--evict needs a policy name")?;
+            }
+            "--zipf" => {
+                zipf = Some(
+                    args.next()
+                        .ok_or("--zipf needs a skew exponent")?
+                        .parse::<f64>()?,
+                );
+            }
+            "--live-frac" => {
+                live_frac = Some(
+                    args.next()
+                        .ok_or("--live-frac needs a fraction in [0,1]")?
+                        .parse::<f64>()?,
+                );
+            }
             "--trace-out" => {
                 let path = args.next().ok_or("--trace-out needs a file path")?;
                 Collector::enable();
@@ -233,6 +281,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err("--ladder and --manifest-out require --segments".into());
     }
 
+    if xl && (cache_mb > 0 || zipf.is_some() || live_frac.is_some()) {
+        return Err(
+            "--cache-mb/--zipf/--live-frac are catalog-scale modes; they do not combine with --xl"
+                .into(),
+        );
+    }
+    let cache_spec = if cache_mb > 0 {
+        let policy = EvictPolicy::from_name(&evict)
+            .ok_or_else(|| format!("unknown eviction policy: {evict} (want lru|lfu|gdsf)"))?;
+        Some(CacheSpec {
+            capacity_bytes: cache_mb << 20,
+            policy,
+            ..CacheSpec::default()
+        })
+    } else {
+        None
+    };
+    let popularity = (zipf.is_some() || live_frac.is_some())
+        .then(|| (zipf.unwrap_or(1.0), live_frac.unwrap_or(0.0)));
+
     let policies: Vec<&str> = match policy_arg.as_str() {
         "all" => vec!["random", "round_robin", "smart", "port"],
         name => vec![name],
@@ -242,7 +310,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if real {
         // The real executor replays a small trace with actual transcodes;
         // arrivals are compressed so the run takes seconds, not minutes.
-        let workload = WorkloadSpec::real_smoke(seed);
+        let mut workload = WorkloadSpec::real_smoke(seed);
+        if let Some((s, live)) = popularity {
+            workload = workload.with_popularity(s, live);
+            println!("popularity: zipf(s={s}) request trace, live fraction {live}");
+        }
         println!(
             "real executor: {} jobs over {} videos, fleet = Table IV ({} servers)",
             workload.jobs,
@@ -253,6 +325,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             arrival_compression: 20,
             ..ExecConfig::default()
         };
+        if let Some(spec) = &cache_spec {
+            cfg.serve.cache = Some(spec.clone());
+            println!(
+                "segment cache: {} MiB, {} eviction",
+                spec.capacity_bytes >> 20,
+                spec.policy.name()
+            );
+        }
         if faults {
             // Kill one real worker thread early: the detector notices the
             // missing heartbeats and the service requeues its lost work.
@@ -280,6 +360,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             None => None,
         };
+        if let Some(plan) = &plan {
+            // Rung/segment identity plus true output sizes let the cache key
+            // and byte accounting line up with the simulated path.
+            cfg.serve.unit_rungs = plan.unit_rungs();
+            cfg.serve.unit_segs = plan.unit_segs();
+            cfg.serve.unit_bytes = plan.unit_bytes()?;
+        }
         for name in policies {
             let policy =
                 policy_by_name(name, seed).ok_or_else(|| format!("unknown policy: {name}"))?;
@@ -303,7 +390,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
         }
     } else {
-        let workload = if xl && xl_full {
+        let mut workload = if xl && xl_full {
             WorkloadSpec::xl(seed)
         } else if xl {
             WorkloadSpec::xl_smoke(seed)
@@ -312,6 +399,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             WorkloadSpec::bundled(seed)
         };
+        if let Some((s, live)) = popularity {
+            workload = workload.with_popularity(s, live);
+            println!("popularity: zipf(s={s}) request trace, live fraction {live}");
+        }
         if let Some(path) = &dump_trace {
             let jobs = workload.generate()?;
             std::fs::write(path, render_trace(&jobs))?;
@@ -382,8 +473,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..ServeConfig::default()
             }
         };
+        if let Some(spec) = &cache_spec {
+            cfg.cache = Some(spec.clone());
+            println!(
+                "segment cache: {} MiB, {} eviction",
+                spec.capacity_bytes >> 20,
+                spec.policy.name()
+            );
+        }
         if let Some(plan) = &plan {
             cfg.unit_frames = plan.unit_frames();
+            cfg.unit_rungs = plan.unit_rungs();
+            cfg.unit_segs = plan.unit_segs();
+            cfg.unit_bytes = plan.unit_bytes()?;
         }
         for name in policies {
             let policy =

@@ -187,11 +187,13 @@ fn trajectory_schema_roundtrips_through_its_own_validator() {
         completed: r.completed,
         slo_violations: r.slo_violations,
         shed: r.shed_total(),
+        shed_rung: r.shed_by_rung.first().copied().unwrap_or(0),
         p50_sojourn_us: r.sojourn.p50_us,
         p99_sojourn_us: r.sojourn.p99_us,
         throughput_milli_jps: milli(r.throughput_jps),
         goodput_milli_jps: milli(r.goodput_jps),
         availability_milli: milli(r.availability),
+        cache_hit_milli: 0,
         alerts: out.obs.alerts().len() as u64,
         makespan_us: r.makespan_us,
         wall_ms: 0,
